@@ -1,0 +1,59 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure via its experiment
+harness (see DESIGN.md §4) and prints the rows so a benchmark run
+doubles as a reproduction run.  The shared trace is bench-scale by
+default (≈6K items); set ``REPRO_SCALE`` to grow everything toward the
+paper's scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import format_table
+from repro.workload import WorldCupParams, generate_trace
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_trace():
+    s = _scale()
+    params = WorldCupParams(
+        n_items=max(500, int(6000 * s)),
+        n_keywords=max(200, int(1500 * s)),
+    )
+    return generate_trace(params, seed=19980724)
+
+
+@pytest.fixture(scope="session")
+def bench_nodes():
+    """Node count for single-deployment benches."""
+    return max(100, int(400 * _scale()))
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a RowSet outside pytest's capture, so bench runs show the
+    reproduced table."""
+
+    def _show(rowset):
+        with capsys.disabled():
+            print()
+            print(format_table(rowset))
+
+    return _show
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiment harnesses are deterministic and take seconds; repeated
+    rounds would triple runtimes without adding information.
+    """
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

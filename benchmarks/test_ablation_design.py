@@ -1,0 +1,42 @@
+"""Bench X-ABL: design-choice ablations (DESIGN.md §4).
+
+One knob flipped per row: digit radix, leaf-set size, replacement
+policy (exact cosine vs angle proxy), directory pointers, first-hop.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_design_ablation, run_firsthop_ablation
+
+
+def test_ablation_design(benchmark, bench_trace, show):
+    rs = run_once(
+        benchmark, run_design_ablation, trace=bench_trace, n_nodes=250,
+        queries=120,
+    )
+    show(rs)
+    by_variant = {row[0]: row for row in rs.rows}
+    base = by_variant["baseline (b=2, leaf=4, angle policy)"]
+    wide = by_variant["digit_bits=4 (16-way tree)"]
+    # Wider radix routes in fewer hops.
+    assert wide[1] < base[1]
+    # The angle-proxy replacement matches exact cosine on recall.
+    cos = by_variant["cosine replacement"]
+    ang = by_variant["angle replacement"]
+    assert abs(cos[2] - ang[2]) < 0.1
+    # Every variant stays correct.
+    for row in rs.rows:
+        assert row[2] > 0.8, f"{row[0]} recall collapsed"
+
+
+def test_ablation_firsthop(benchmark, bench_trace, show):
+    rs = run_once(benchmark, run_firsthop_ablation, trace=bench_trace, n_nodes=250)
+    show(rs)
+    assert len(rs.rows) == 8
+    # Walk mode with a tight patience is where §3.5.1 earns its keep:
+    # first-hop on must dominate first-hop off at every rank.
+    walk = {(r[1], r[2]): r[3] for r in rs.rows if r[0] == "walk"}
+    for rank in (1, 4):
+        assert walk[("on", rank)] >= walk[("off", rank)]

@@ -1,0 +1,24 @@
+"""Bench X-CHORD: overlay portability (§6's claim).
+
+The identical Meteorograph stack on the Tornado-style overlay and on
+Chord: same recall, same O(log N)-shaped routing.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_overlay_ablation
+
+
+def test_ablation_overlays(benchmark, bench_trace, show):
+    rs = run_once(
+        benchmark, run_overlay_ablation, trace=bench_trace, n_nodes=300,
+        queries=150,
+    )
+    show(rs)
+    by_kind = {row[0]: row for row in rs.rows}
+    assert set(by_kind) == {"tornado", "chord"}
+    for kind, row in by_kind.items():
+        assert row[2] > 0.8, f"{kind} recall collapsed"
+    # Routing costs within 3× of each other (same asymptotics).
+    a, b = by_kind["tornado"][1], by_kind["chord"][1]
+    assert max(a, b) <= 3 * min(a, b)

@@ -1,0 +1,25 @@
+"""Bench X-FLOOD: footnote 1–2 crossover vs unstructured baselines.
+
+Paper claim: Meteorograph needs (1 + k/c)·O(log N) messages versus the
+flood's ≈N·d (idealised N−1), so it wins decisively while k ≪ N·c.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_crossover
+
+
+def test_crossover_flooding(benchmark, bench_trace, bench_nodes, show):
+    rs = run_once(
+        benchmark, run_crossover, trace=bench_trace, n_nodes=bench_nodes,
+        k_values=(4, 16, 64),
+    )
+    show(rs)
+    # At trivially small k an idealised early-stop flood can win by luck
+    # (a neighbor happens to hold matches); from k=16 up, Meteorograph
+    # must win, and decisively against the N−1 reference.
+    for row in rs.rows:
+        k, met, gnut, recall_at_stop, sub, n_minus_1 = row
+        assert met * 5 < n_minus_1
+        if k >= 16:
+            assert met < gnut

@@ -1,0 +1,117 @@
+"""Benches for the §6 extensions and the model-vs-measured overlay.
+
+* X-RANGE: the paper's "memory between 1G and 8G" query — cost must be
+  O(log N) route plus a span-proportional walk, never a crawl.
+* X-NOTIFY: publish-side notification — one message per matching
+  subscriber, zero broadcast.
+* X-MODEL: the paper's closed-form models (route hops, availability)
+  against this repo's measurements.
+* X-CHURN: continuous churn with §3.6 repair.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro import analysis
+from repro.core import (
+    Meteorograph,
+    MeteorographConfig,
+    NotificationService,
+    PlacementScheme,
+    RangeDirectory,
+)
+from repro.experiments import run_failures, run_fig7
+from repro.experiments.churn import run_churn
+from repro.vsm import SparseVector
+
+
+def test_extension_range_search(benchmark, bench_nodes):
+    rng = np.random.default_rng(0)
+    system = Meteorograph.build(
+        bench_nodes, 64, rng=rng,
+        config=MeteorographConfig(scheme=PlacementScheme.NONE),
+    )
+    ranges = RangeDirectory(system)
+    ranges.register_attribute(
+        "memory-gb", 0.25, 1024, key_lo=0, key_hi=system.space.modulus,
+        log_scale=True,
+    )
+    origin = system.random_origin(rng)
+    values = {}
+    for machine in range(2000):
+        gb = float(2.0 ** int(rng.integers(-1, 9)))
+        values[machine] = gb
+        ranges.advertise(origin, machine, "memory-gb", gb)
+
+    res = benchmark(ranges.query, origin, "memory-gb", 1, 8)
+    expected = {m for m, gb in values.items() if 1 <= gb <= 8}
+    assert {m for m, _ in res.matches} == expected
+    # Walk is span-proportional, not a crawl of all bench_nodes.
+    assert res.walk_hops < bench_nodes * 0.6
+
+
+def test_extension_notification(benchmark, bench_nodes):
+    rng = np.random.default_rng(1)
+    system = Meteorograph.build(
+        bench_nodes, 64, rng=rng,
+        config=MeteorographConfig(scheme=PlacementScheme.NONE),
+    )
+    svc = NotificationService(system).attach()
+    interest = SparseVector.binary([3, 5], 64)
+    subscriber = system.random_origin(rng)
+    svc.subscribe(subscriber, interest, require_all=[3, 5], home_radius=4)
+    publisher = system.random_origin(rng)
+    counter = iter(range(10_000_000))
+
+    def publish_matching():
+        item_id = next(counter)
+        system.publish(publisher, item_id, [3, 5, 7], [1.0, 1.0, 1.0])
+        return item_id
+
+    before_notes = len(svc.delivered)
+    before_msgs = system.network.sink.count("notify")
+    benchmark(publish_matching)
+    delivered = len(svc.delivered) - before_notes
+    charged = system.network.sink.count("notify") - before_msgs
+    assert delivered >= 1
+    assert charged == delivered  # exactly one message per notification
+
+
+def test_model_vs_measured_routing(benchmark, bench_trace, show):
+    """Measured Fig. 7 hops against the log_{2^b} N model."""
+    rs = run_once(
+        benchmark, run_fig7, trace=bench_trace, node_counts=(256, 1024),
+        queries=200, schemes=(PlacementScheme.UNUSED_HASH_HOT,),
+    )
+    show(rs)
+    for row in rs.rows:
+        _, n, mean_hops, _, _ = row
+        predicted = analysis.expected_route_hops(n, digit_bits=2)
+        # Greedy prefix routing with leaf-set shortcuts beats the bound;
+        # it must never exceed ~1.5× of it.
+        assert mean_hops <= 1.5 * predicted
+
+
+def test_model_vs_measured_availability(benchmark, bench_trace, show):
+    """Measured §4.3 availability against the 1 − p^k model."""
+    rs = run_once(
+        benchmark, run_failures, trace=bench_trace, n_nodes=300,
+        replica_counts=(2, 4), fail_fractions=(0.3, 0.7), queries=200,
+    )
+    show(rs)
+    for replicas, failed_pct, measured, bound in rs.rows:
+        predicted = analysis.availability(failed_pct / 100, replicas)
+        assert bound == round(predicted, 3)
+        assert abs(measured - predicted) < 0.15
+
+
+def test_extension_churn_with_repair(benchmark, bench_trace, show):
+    rs = run_once(
+        benchmark, run_churn, trace=bench_trace, n_nodes=300, replicas=4,
+        depart_rate=2.0, repair_interval=8.0, horizon=60.0,
+        sample_every=20.0, queries_per_sample=100,
+    )
+    show(rs)
+    # Availability stays high while cumulative departures mount.
+    assert rs.rows[-1][2] >= 0.85
+    assert rs.rows[-1][1] >= 20

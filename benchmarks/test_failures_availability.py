@@ -1,0 +1,32 @@
+"""Bench F-REL: regenerate §4.3 (availability under failures).
+
+Paper shape targets at 50% failures: ≈80% / ≈95% / ≈99% availability
+with 2 / 4 / 8 replicas; at 90% failures the ordering persists
+(paper: 20% / 30% / 45%).  The analytic 1 − p^k bound anchors each
+row.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_failures
+
+
+def test_failures_availability(benchmark, bench_trace, bench_nodes, show):
+    rs = run_once(
+        benchmark, run_failures, trace=bench_trace, n_nodes=bench_nodes,
+        replica_counts=(1, 2, 4, 8), fail_fractions=(0.1, 0.5, 0.9),
+        queries=200,
+    )
+    show(rs)
+    cells = {(r[0], r[1]): r[2] for r in rs.rows}
+    # Monotone in replicas at every failure level.
+    for failed in (10, 50, 90):
+        assert cells[(1, failed)] <= cells[(2, failed)] + 0.05
+        assert cells[(2, failed)] <= cells[(4, failed)] + 0.05
+        assert cells[(4, failed)] <= cells[(8, failed)] + 0.05
+    # Paper's 50%-failure targets, with simulation slack.
+    assert cells[(2, 50)] >= 0.65
+    assert cells[(4, 50)] >= 0.85
+    assert cells[(8, 50)] >= 0.95
+    # Even at 90% failures the replicated curves stay usable.
+    assert cells[(8, 90)] >= 0.25

@@ -1,0 +1,28 @@
+"""Bench F10a: regenerate Figure 10(a) (similar-item discovery vs hops).
+
+Paper shape targets: every matching item is discoverable (100%
+recall), and the overwhelming majority are located within a small
+multiple of O(log N) hops (the paper quotes >97% within ≈6.91 hops at
+N = 10,000 with parallel fetches; our per-item metric is the pointer
+position plus its fetch route).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_fig10a
+
+
+def test_fig10a_similarity_hops(benchmark, bench_trace, bench_nodes, show):
+    rs = run_once(
+        benchmark, run_fig10a, trace=bench_trace, n_nodes=bench_nodes,
+        ranks=(1, 2, 4, 8),
+    )
+    show(rs)
+    log_n = math.log(bench_nodes, 4)
+    for row in rs.rows:
+        _, total, found, recall, p50, p97, _ = row
+        assert recall >= 0.95
+        # p97 within ~3×(2·log₄N): route + fetch plus slack for the walk.
+        assert p97 <= 6 * log_n + 8

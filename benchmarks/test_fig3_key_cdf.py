@@ -1,0 +1,18 @@
+"""Bench F3: regenerate Figure 3 (raw angle-key CDF skew).
+
+Paper shape target: ~85% of items in a few percent of the hash space
+(their trace: 5.9%); the synthetic trace lands well under that bound.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_key_cdf(benchmark, bench_trace, show):
+    rs = run_once(benchmark, run_fig3, trace=bench_trace)
+    show(rs)
+    assert rs.notes["space_fraction_for_85pct"] < 0.06
+    # CDF keys are monotone.
+    keys = rs.column("key")
+    assert keys == sorted(keys)

@@ -1,0 +1,18 @@
+"""Bench F4: regenerate Figure 4 (balanced-key CDF after Eq. 6).
+
+Paper shape target: the remapped CDF is near-linear (slope ≈ 1) —
+i.e. the hash space is actually used — versus Fig. 3's collapse.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3, run_fig4
+
+
+def test_fig4_balanced_cdf(benchmark, bench_trace, show):
+    rs = run_once(benchmark, run_fig4, trace=bench_trace)
+    show(rs)
+    raw = run_fig3(bench_trace)
+    # Equalization must widen 85%-occupancy by an order of magnitude.
+    assert rs.notes["space_fraction_for_85pct"] > 10 * raw.notes["space_fraction_for_85pct"]
+    assert rs.notes["max_cdf_deviation_from_linear"] < 0.2

@@ -1,0 +1,16 @@
+"""Bench F6: regenerate Figure 6 (objects per client, decreasing)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_basket_sizes(benchmark, bench_trace, show):
+    rs = run_once(benchmark, run_fig6, trace=bench_trace, points=15)
+    show(rs)
+    sizes = rs.column("objects accessed")
+    assert sizes == sorted(sizes, reverse=True)
+    # Paper shape: heavy-tailed — top client far above the median one
+    # (Table 1: max 11,868 vs mean 43).  The ratio shrinks with the
+    # keyword-space cap at bench scale, but must stay clearly >1.
+    assert rs.notes["heavy_tail_ratio"] >= 4

@@ -1,0 +1,31 @@
+"""Bench F7: regenerate Figure 7 (single-item search hops vs N).
+
+Paper shape targets: all three placement schemes retrieve a random
+item in O(log N) hops; hop count grows logarithmically with the
+overlay size and stays within a small constant of log₄ N.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_single_item_hops(benchmark, bench_trace, show):
+    rs = run_once(
+        benchmark,
+        run_fig7,
+        trace=bench_trace,
+        node_counts=(125, 250, 500, 1000),
+        queries=250,
+    )
+    show(rs)
+    for scheme in set(rs.column("scheme")):
+        rows = [r for r in rs.rows if r[0] == scheme]
+        hops = [r[2] for r in rows]
+        ns = [r[1] for r in rows]
+        # Monotone-ish growth, and within 3× the log4 reference.
+        assert hops[-1] >= hops[0]
+        for h, n in zip(hops, ns):
+            assert h <= 3 * math.log(n, 4) + 2

@@ -1,0 +1,23 @@
+"""Bench F8: regenerate Figure 8 (per-node load CDF).
+
+Paper shape targets: "None" piles most items on a handful of nodes;
+the optimized schemes keep ~75% of nodes at ≤2c and ~98.7% at ≤8c.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_node_load(benchmark, bench_trace, bench_nodes, show):
+    rs = run_once(benchmark, run_fig8, trace=bench_trace, n_nodes=bench_nodes)
+    show(rs)
+    by_scheme = {row[0]: row for row in rs.rows}
+    none_max = by_scheme["None"][-1]
+    hot = by_scheme["Unused Hash Space + Hot Regions"]
+    # Optimized: ≥60% of nodes within 2c, ≥95% within 8c (paper: 75% / 98.7%).
+    le2c, le8c = hot[3], hot[5]
+    assert le2c >= 0.6
+    assert le8c >= 0.95
+    # "None" max load at least an order of magnitude worse.
+    assert none_max >= 10 * hot[-1]

@@ -1,0 +1,29 @@
+"""Bench F9: regenerate Figure 9 (limited storage, Closest vs Neighbors).
+
+Paper shape targets: with 8c capacity and load balancing on, the
+neighbor walk barely adds to the route ("with high probability a node
+whose hash key is closest can resolve a query"); without balancing,
+finding the item becomes far more expensive than reaching the key's
+home.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_capacity(benchmark, bench_trace, bench_nodes, show):
+    rs = run_once(
+        benchmark, run_fig9, trace=bench_trace, n_nodes=bench_nodes, queries=250
+    )
+    show(rs)
+    by_scheme = {row[0]: row for row in rs.rows}
+    none_row = by_scheme["None"]
+    hot_row = by_scheme["Unused Hash Space + Hot Regions"]
+    # Optimized: total ≈ closest (small walk overhead), high home hit rate.
+    assert hot_row[2] - hot_row[1] < 2.0
+    assert hot_row[4] > 0.5
+    # None: the walk dominates the route.
+    assert none_row[2] > 3 * none_row[1]
+    # And None is much worse than optimized end to end.
+    assert none_row[2] > 3 * hot_row[2]

@@ -1,0 +1,40 @@
+"""Benches X-HET and X-CONJ.
+
+* X-HET: with Pareto per-node capacities (Tornado's capability-aware
+  premise), the displacement chain places load proportionally to
+  capacity, without overflowing anyone.
+* X-CONJ: multi-keyword conjunctions — the §1 motivating query — keep
+  full recall at every conjunction size while cost tracks the matching
+  set's size.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_conjunctions, run_heterogeneous
+
+
+def test_heterogeneous_storage(benchmark, bench_trace, show):
+    rs = run_once(
+        benchmark, run_heterogeneous, trace=bench_trace, n_nodes=300,
+        capacity_multiple=2.0,
+    )
+    show(rs)
+    by_profile = {row[0]: row for row in rs.rows}
+    assert by_profile["pareto"][1] > 0.5  # load tracks capacity
+    for row in rs.rows:
+        assert row[3] <= 1.0 + 1e-9  # capacity never exceeded
+
+
+def test_conjunction_queries(benchmark, bench_trace, show):
+    rs = run_once(
+        benchmark, run_conjunctions, trace=bench_trace, n_nodes=300,
+        sizes=(1, 2, 4), queries_per_size=6,
+    )
+    show(rs)
+    for row in rs.rows:
+        assert row[1] >= 0.9  # recall
+    totals = rs.column("mean matching items")
+    messages = rs.column("mean messages")
+    # Cost shrinks with the matching set, not with query complexity.
+    assert totals[0] > totals[-1]
+    assert messages[0] > messages[-1]

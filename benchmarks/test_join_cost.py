@@ -1,0 +1,25 @@
+"""Bench X-JOIN: protocol join cost vs overlay size.
+
+Shape claim (§1 self-administration): joining costs O(log N) messages
+— the bootstrap round-trip plus one route — so growing the overlay
+stays cheap at any size.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_join_cost
+
+
+def test_join_cost(benchmark, bench_trace, show):
+    rs = run_once(
+        benchmark, run_join_cost, trace=bench_trace,
+        node_counts=(64, 256, 1024),
+    )
+    show(rs)
+    for n, cost, _retries, log4n in rs.rows:
+        # 2 bootstrap messages + a route ≤ ~1.5·log₄N.
+        assert cost <= 2 + 1.5 * log4n + 1
+    costs = rs.column("mean join msgs (last half)")
+    assert costs == sorted(costs)  # monotone in N

@@ -1,0 +1,21 @@
+"""Bench X-PROX: proximity-aware routing latency stretch.
+
+Shape claim (Pastry/Tornado locality): proximity-aware table
+construction reduces end-to-end latency stretch substantially at
+essentially unchanged hop counts.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_proximity
+
+
+def test_proximity_stretch(benchmark, show):
+    rs = run_once(benchmark, run_proximity, n_nodes=500, queries=300)
+    show(rs)
+    by_mode = {row[0]: row for row in rs.rows}
+    plain = by_mode["prefix-first"]
+    prox = by_mode["proximity-aware"]
+    # ≥25% mean-stretch improvement, hops within 30%.
+    assert prox[2] <= 0.75 * plain[2]
+    assert prox[1] <= 1.3 * plain[1]

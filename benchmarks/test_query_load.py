@@ -1,0 +1,23 @@
+"""Bench X-QLOAD: search-traffic fairness, pointers vs walk.
+
+Shape claims: pointer mode concentrates query handling on the pointer
+band (higher top-1% share) while costing less total traffic per query
+workload than sweeping the stretched band.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_query_load
+
+
+def test_query_load(benchmark, bench_trace, bench_nodes, show):
+    rs = run_once(
+        benchmark, run_query_load, trace=bench_trace, n_nodes=bench_nodes,
+        keyword_queries=40, item_queries=80,
+    )
+    show(rs)
+    by_mode = {row[0]: row for row in rs.rows}
+    ptr, walk = by_mode["pointers"], by_mode["walk"]
+    assert ptr[2] >= walk[2] - 0.05  # concentration
+    for row in rs.rows:
+        assert row[1] <= 1.0

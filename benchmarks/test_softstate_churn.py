@@ -1,0 +1,23 @@
+"""Bench X-SOFT: soft-state republish under churn (§3.6 machinery).
+
+Shape claims: availability is monotone in republish frequency; the
+price is republish traffic; orphaned items accumulate only when
+republish is off.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_softstate
+
+
+def test_softstate_churn(benchmark, bench_trace, show):
+    rs = run_once(
+        benchmark, run_softstate, trace=bench_trace, n_nodes=250,
+        n_items=300, replicas=2, depart_rate=1.5, horizon=50.0,
+        republish_intervals=(5.0, 15.0, 1e9), queries=120,
+    )
+    show(rs)
+    by_label = {row[0]: row for row in rs.rows}
+    fast, slow, off = by_label["5"], by_label["15"], by_label["off"]
+    assert fast[1] >= off[1] - 0.02  # republish never hurts availability
+    assert fast[2] > slow[2] > off[2]  # traffic ordered by frequency

@@ -1,0 +1,15 @@
+"""Bench T1: regenerate Table 1 (workload statistics)."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1_workload(benchmark, bench_trace, show):
+    rs = run_once(benchmark, run_table1, trace=bench_trace)
+    show(rs)
+    labels = [row[0] for row in rs.rows]
+    assert labels[0].startswith("Number of clients")
+    # Shape: mean basket near the paper's 43.
+    mean_row = next(r for r in rs.rows if "Average" in r[0])
+    assert 30 <= float(mean_row[1]) <= 55

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Head-to-head: Meteorograph vs unstructured search on one workload.
+
+Publishes the same corpus into Meteorograph, a Gnutella-style
+random-graph overlay, and a Freenet-style DFS overlay, then issues the
+same keyword searches against each, printing the §1/§5 comparison the
+paper argues qualitatively: message cost, recall/determinism, and the
+TTL-scope failure mode.
+
+Run:  python examples/compare_baselines.py
+"""
+
+import numpy as np
+
+from repro import Meteorograph, MeteorographConfig, generate_trace
+from repro.core import corpus_to_keys
+from repro.unstructured import FreenetOverlay, GnutellaOverlay
+from repro.workload import (
+    WorldCupParams,
+    keyword_ground_truth,
+    keyword_query,
+    nth_popular_keyword,
+)
+
+SEED = 5
+N_NODES = 400
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    trace = generate_trace(
+        WorldCupParams(n_items=4000, n_keywords=1000), seed=SEED
+    )
+    corpus = trace.corpus
+    kw = nth_popular_keyword(corpus, 1, max_matches=N_NODES)
+    truth = keyword_ground_truth(corpus, [kw])
+    print(f"workload: {corpus.n_items} items; query keyword {kw} "
+          f"matches {truth.total} items\n")
+
+    # ---------------- Meteorograph ------------------------------------
+    sample = corpus.subsample(np.sort(rng.choice(corpus.n_items, 64, replace=False)))
+    met = Meteorograph.build(
+        N_NODES, corpus.dim, rng=rng, sample=sample,
+        config=MeteorographConfig(directory_pointers=True),
+    )
+    met.publish_corpus(corpus, rng)
+    res = met.retrieve(
+        met.random_origin(rng), keyword_query(trace, [kw]), None,
+        require_all=[kw], use_first_hop=True, patience=24,
+    )
+    print(f"meteorograph : {res.found}/{truth.total} found, "
+          f"{res.messages} messages (deterministic, complete)")
+
+    # ---------------- Gnutella flood ----------------------------------
+    gnut = GnutellaOverlay(N_NODES, rng=rng)
+    baskets = [corpus.vector(i).indices for i in range(corpus.n_items)]
+    gnut.publish_randomly(list(range(corpus.n_items)), baskets, rng)
+    full = gnut.flood(0, [kw])
+    ttl3 = gnut.flood(0, [kw], ttl=3)
+    print(f"gnutella     : full flood {len(full.found)}/{truth.total} found, "
+          f"{full.messages} messages")
+    print(f"gnutella ttl3: {len(ttl3.found)}/{truth.total} found, "
+          f"{ttl3.messages} messages (scope-limited: misses existing items)")
+
+    # ---------------- Freenet DFS -------------------------------------
+    fre = FreenetOverlay(N_NODES, met.space, rng=rng, cache_size=128)
+    keys = corpus_to_keys(corpus, met.space)
+    for i in range(corpus.n_items):
+        fre.store(int(rng.integers(0, N_NODES)), int(keys[i]), i)
+    # Freenet searches one key at a time; search for three matching items.
+    match_keys = [int(keys[i]) for i in truth.matching_items[:3]]
+    costs, hits = [], 0
+    for mk in match_keys:
+        out = fre.search(int(rng.integers(0, N_NODES)), mk, ttl=24)
+        costs.append(out.messages)
+        hits += int(out.found)
+    print(f"freenet      : {hits}/{len(match_keys)} single-key lookups "
+          f"succeeded, per-lookup cost {costs} (unpredictable)")
+
+    print("\nMeteorograph completes the similarity search for "
+          f"~{res.messages} messages; the flood that guarantees the same "
+          f"recall costs {full.messages}.")
+
+
+if __name__ == "__main__":
+    main()

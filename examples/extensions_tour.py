@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Tour of the §6 future-work features this repo implements.
+
+The paper closes with two planned extensions:
+
+1. **Range search** — "discovering machines that have memory in size
+   between 1G and 8G bytes. Mapping the range of values into the linear
+   structure provided by Tornado may solve this problem."
+2. **Notification** — "Notification can rapidly transfer the states of
+   resources to subscribed consumers."
+
+Both are built here on exactly the machinery the paper suggests: range
+search as an order-preserving map onto the linear key space, and
+notification as angle-keyed subscriptions that aggregate where matching
+publishes land.
+
+Run:  python examples/extensions_tour.py
+"""
+
+import numpy as np
+
+from repro import Meteorograph, MeteorographConfig, NotificationService, RangeDirectory
+from repro.core import PlacementScheme
+from repro.vsm import SparseVector
+
+SEED = 31
+N_NODES = 200
+DIM = 64
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    system = Meteorograph.build(
+        N_NODES, DIM, rng=rng,
+        config=MeteorographConfig(scheme=PlacementScheme.NONE),
+    )
+    origin = system.random_origin(rng)
+
+    # ------------------------------------------------ range search ----
+    ranges = RangeDirectory(system)
+    ranges.register_attribute(
+        "memory-gb", 0.25, 1024,
+        key_lo=0, key_hi=system.space.modulus, log_scale=True,
+    )
+    machines = {}
+    for machine_id in range(400):
+        gb = float(2.0 ** int(rng.integers(-1, 9)))  # 0.5G .. 256G
+        machines[machine_id] = gb
+        ranges.advertise(origin, machine_id, "memory-gb", gb)
+
+    res = ranges.query(origin, "memory-gb", 1, 8)
+    expected = sorted(i for i, gb in machines.items() if 1 <= gb <= 8)
+    print("range query: machines with 1G-8G memory")
+    print(f"  found {res.found} machines "
+          f"(ground truth {len(expected)}) in {res.messages} messages "
+          f"({res.route_hops} route + {res.walk_hops} walk)")
+    assert [i for i, _ in res.matches] != [] and {i for i, _ in res.matches} == set(expected)
+
+    # ------------------------------------------------ notification ----
+    notify = NotificationService(system).attach()
+    consumer = system.random_origin(rng)
+    interest = SparseVector.binary([3, 5], DIM)  # "cpu-8core" + "os-linux", say
+    sub = notify.subscribe(consumer, interest, require_all=[3, 5], home_radius=3)
+    print(f"\nconsumer {consumer} subscribed (id {sub.sub_id}) "
+          f"to items with keywords {{3, 5}}")
+
+    publisher = system.random_origin(rng)
+    system.publish(publisher, 9001, [3, 5, 9], [1.0, 1.0, 1.0])   # matches
+    system.publish(publisher, 9002, [3], [1.0])                   # misses
+    system.publish(publisher, 9003, [3, 5], [1.0, 1.0])           # matches
+
+    notes = notify.notifications_for(consumer)
+    print(f"  {len(notes)} notifications pushed on publish: "
+          f"{[n.item_id for n in notes]}")
+    assert [n.item_id for n in notes] == [9001, 9003]
+
+    notify.unsubscribe(sub.sub_id)
+    system.publish(publisher, 9004, [3, 5], [1.0, 1.0])
+    assert len(notify.notifications_for(consumer)) == 2
+    print("  after unsubscribe: no further notifications")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: stand up Meteorograph, publish a corpus, search it.
+
+Builds a 300-node overlay over a synthetic World Cup-shaped trace,
+publishes 5,000 items, then runs the three query types the paper
+supports: exact-item lookup, single-keyword similarity search, and
+ranked (top-k) search.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Meteorograph, MeteorographConfig, generate_trace
+from repro.workload import (
+    WorldCupParams,
+    keyword_ground_truth,
+    keyword_query,
+    nth_popular_keyword,
+)
+
+N_NODES = 300
+SEED = 7
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+
+    # 1. Workload: a market-basket trace shaped like the paper's
+    #    World Cup '98 log (items = clients, keywords = web objects).
+    trace = generate_trace(
+        WorldCupParams(n_items=5000, n_keywords=1200), seed=SEED
+    )
+    corpus = trace.corpus
+    print(f"trace: {corpus.n_items} items, {corpus.dim} keywords, "
+          f"mean basket {trace.basket_sizes.mean():.1f}")
+
+    # 2. The §3.4 sample set (0.5% of items) powers the load balancer
+    #    and first-hop selection.
+    sample_ids = rng.choice(corpus.n_items, size=64, replace=False)
+    sample = corpus.subsample(np.sort(sample_ids))
+
+    # 3. Build: Tornado-style overlay, full load balancing, directory
+    #    pointers for similarity search.
+    system = Meteorograph.build(
+        N_NODES,
+        corpus.dim,
+        rng=rng,
+        sample=sample,
+        config=MeteorographConfig(directory_pointers=True),
+    )
+    print(f"overlay: {system.overlay.size} nodes, "
+          f"scheme = {system.config.scheme.value}")
+
+    # 4. Publish everything (keys batch-computed via Eq. 5 + Eq. 6).
+    results = system.publish_corpus(corpus, rng)
+    failed = sum(1 for r in results if not r.success)
+    route_hops = np.mean([r.route_hops for r in results])
+    print(f"published {len(results) - failed}/{len(results)} items, "
+          f"mean publish route {route_hops:.2f} hops")
+
+    # 5. Exact-item lookup (Fig. 9's query type).
+    item = int(rng.integers(0, corpus.n_items))
+    found = system.find(system.random_origin(rng), item)
+    print(f"find(item {item}): found={found.found} in {found.total_hops} hops "
+          f"({found.closest_hops} to the key's home)")
+
+    # 6. Similarity search: all items matching a keyword (Fig. 10).
+    kw = nth_popular_keyword(corpus, 2, max_matches=N_NODES)
+    truth = keyword_ground_truth(corpus, [kw])
+    res = system.retrieve(
+        system.random_origin(rng),
+        keyword_query(trace, [kw]),
+        None,
+        require_all=[kw],
+        use_first_hop=True,
+        patience=24,
+    )
+    print(f"keyword {kw}: found {res.found}/{truth.total} matching items "
+          f"with {res.messages} messages")
+
+    # 7. Ranked search: top-5 items most similar to an existing item.
+    probe = corpus.vector(item)
+    top = system.top_k(system.random_origin(rng), probe, 5)
+    print("top-5 similar to item", item, "->",
+          [(d.item_id, round(d.score, 3)) for d in top])
+
+
+if __name__ == "__main__":
+    main()

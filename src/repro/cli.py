@@ -1,0 +1,85 @@
+"""Command-line entry point: ``meteorograph`` / ``python -m repro``.
+
+Runs any experiment from DESIGN.md's index and prints its table, e.g.::
+
+    meteorograph run fig7 --scale 1.0
+    meteorograph run all
+    meteorograph list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from .experiments import ALL_EXPERIMENTS, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="meteorograph",
+        description="Meteorograph (ICPP 2003) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id from DESIGN.md (e.g. fig7), or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="global scale factor (sets REPRO_SCALE; 1.0 = bench default)",
+    )
+    run.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write each experiment's rows to DIR as CSV+JSON "
+        "(plus a manifest.json)",
+    )
+
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(ALL_EXPERIMENTS):
+            print(name)
+        return 0
+    if args.command == "run":
+        if args.scale is not None:
+            os.environ["REPRO_SCALE"] = str(args.scale)
+        names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+            print("use 'meteorograph list'", file=sys.stderr)
+            return 2
+        done = {}
+        for name in names:
+            rs = ALL_EXPERIMENTS[name]()
+            done[name] = rs
+            print(format_table(rs))
+            print(f"[{name} finished in {rs.elapsed_s:.2f}s]\n")
+        if args.out is not None:
+            from .io import write_manifest, write_rowset
+
+            for name, rs in done.items():
+                write_rowset(rs, args.out, name)
+            manifest = write_manifest(args.out, done)
+            print(f"results written to {manifest.parent}/")
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Directory-pointer publication — §3.5.2.
+
+A pointer is a tiny record (keywords + the item's Eq.-6 body key)
+published at the item's *Eq.-5 angle key*.  Pointers of similar items
+therefore aggregate on the angle band while bodies spread uniformly:
+search sweeps the compact pointer band first and then fetches exactly
+the bodies it needs.  The pointer-side retrieval protocol lives in
+:func:`repro.core.search.retrieve_with_pointers`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.node import DirectoryPointer, StoredItem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .meteorograph import Meteorograph
+
+__all__ = ["publish_pointer", "pointer_for"]
+
+
+def pointer_for(item: StoredItem) -> DirectoryPointer:
+    """Build an item's directory pointer (angle key → body key + keywords)."""
+    return DirectoryPointer(
+        item_id=item.item_id,
+        angle_key=item.angle_key,
+        body_key=item.publish_key,
+        keyword_ids=item.keyword_ids,
+    )
+
+
+def publish_pointer(system: "Meteorograph", origin: int, item: StoredItem) -> int:
+    """Route the pointer from the body's home to the angle key's home.
+
+    Returns the number of ``pointer`` messages charged (the route hops).
+    Pointers are small and unbounded per node (§3.5.2 argues their size
+    is negligible), so no displacement applies.
+    """
+    route = system.overlay.route(origin, item.angle_key, kind="pointer")
+    assert route.home is not None
+    system.network.node(route.home).add_pointer(pointer_for(item))
+    return route.hops

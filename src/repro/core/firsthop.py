@@ -1,0 +1,117 @@
+"""First-hop selection — §3.5.1.
+
+A query with few keywords has a very different absolute angle from the
+43-keyword items that match it, so routing on the query's own key lands
+far from the matching band.  The fix: the bootstrap hands every node a
+small sample data set; before issuing a multi-keyword search, the node
+finds the sample item matching the keywords whose key is *smallest* and
+routes there instead — the bottom of the matching band — then sweeps
+upward through it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..vsm.sparse import Corpus
+
+__all__ = ["FirstHopSelector"]
+
+
+class FirstHopSelector:
+    """Start-key oracle backed by a bootstrap sample set.
+
+    Parameters
+    ----------
+    sample:
+        The sampled corpus (§3.4: "a small sampled data set", e.g. 0.5%
+        of items).
+    publish_keys / angle_keys:
+        The sample items' keys under the system's publishing transform
+        (Eq. 6) and the raw Eq. 5 transform respectively — first-hop
+        must speak whichever key space the search will walk in.
+    """
+
+    def __init__(
+        self,
+        sample: Corpus,
+        publish_keys: np.ndarray,
+        angle_keys: Optional[np.ndarray] = None,
+    ) -> None:
+        if len(publish_keys) != sample.n_items:
+            raise ValueError("publish_keys must parallel the sample corpus")
+        if angle_keys is not None and len(angle_keys) != sample.n_items:
+            raise ValueError("angle_keys must parallel the sample corpus")
+        self.sample = sample
+        self.publish_keys = np.asarray(publish_keys, dtype=np.int64)
+        self.angle_keys = (
+            None if angle_keys is None else np.asarray(angle_keys, dtype=np.int64)
+        )
+        # Inverted index keyword -> sample item ids.
+        self._postings: dict[int, np.ndarray] = {}
+        csc = sample.matrix.tocsc()
+        for k in range(sample.dim):
+            lo, hi = csc.indptr[k], csc.indptr[k + 1]
+            if hi > lo:
+                self._postings[k] = csc.indices[lo:hi].astype(np.int64)
+
+    def matching_sample_items(self, keyword_ids: Sequence[int]) -> np.ndarray:
+        """Sample item ids containing *all* the given keywords."""
+        ids = [int(k) for k in keyword_ids]
+        if not ids:
+            return np.empty(0, dtype=np.int64)
+        sets = []
+        for k in ids:
+            post = self._postings.get(k)
+            if post is None:
+                return np.empty(0, dtype=np.int64)
+            sets.append(post)
+        sets.sort(key=len)
+        acc = sets[0]
+        for post in sets[1:]:
+            acc = np.intersect1d(acc, post, assume_unique=True)
+            if acc.size == 0:
+                break
+        return acc
+
+    def start_key(
+        self, keyword_ids: Sequence[int], *, angle_space: bool = False
+    ) -> Optional[int]:
+        """Smallest key of a matching sample item, or None when the
+        sample has no match (caller falls back to the query's own key)."""
+        hits = self.matching_sample_items(keyword_ids)
+        if hits.size == 0:
+            return None
+        return int(self._keys(angle_space)[hits].min())
+
+    def relaxed_start_key(
+        self, keyword_ids: Sequence[int], *, angle_space: bool = False
+    ) -> Optional[tuple[int, int]]:
+        """Best-effort start key when no sample item matches the full
+        conjunction: the smallest key among sample items matching the
+        *most* query keywords.
+
+        Returns (key, matched keyword count), or None when no sample
+        item shares any keyword with the query.  Because the match is
+        partial, the start position is approximate — callers should
+        sweep both directions from it rather than only upward.
+        """
+        ids = [int(k) for k in keyword_ids]
+        scores = np.zeros(self.sample.n_items, dtype=np.int64)
+        for k in ids:
+            post = self._postings.get(k)
+            if post is not None:
+                scores[post] += 1
+        best = int(scores.max(initial=0))
+        if best == 0:
+            return None
+        hits = np.flatnonzero(scores == best)
+        return int(self._keys(angle_space)[hits].min()), best
+
+    def _keys(self, angle_space: bool) -> np.ndarray:
+        keys = self.angle_keys if angle_space else self.publish_keys
+        if keys is None:
+            raise ValueError("angle keys were not provided to this selector")
+        return keys

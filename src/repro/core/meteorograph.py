@@ -1,0 +1,504 @@
+"""The Meteorograph system facade.
+
+Wires the paper's pieces into one object:
+
+* an overlay (Tornado-like by default, Chord optionally) over a 1-D key
+  space, populated by the §3.4.2 naming protocol;
+* the Eq. 5 angle naming plus, per the configured placement scheme, the
+  Eq. 6 CDF equalizer ("Unused Hash Space") and hot-region node naming
+  ("+ Hot Regions") fitted from a sampled corpus;
+* per-node local VSM indexes and the angle ladder used by the
+  displacement policy;
+* publish / retrieve / find / top-k entry points delegating to
+  :mod:`repro.core.publish` and :mod:`repro.core.search`;
+* optional directory pointers (§3.5.2), first-hop selection (§3.5.1)
+  and replication (§3.6).
+
+The three placement schemes are exactly the paper's evaluation legend:
+``NONE``, ``UNUSED_HASH`` ("Unused Hash Space") and
+``UNUSED_HASH_HOT`` ("Unused Hash Space + Hot Regions").
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+from ..overlay.base import Overlay
+from ..overlay.chord import ChordOverlay
+from ..overlay.idspace import KeySpace
+from ..overlay.membership import Bootstrap
+from ..overlay.tornado import TornadoOverlay
+from ..sim.engine import Simulator
+from ..sim.metrics import MetricSink
+from ..sim.network import Network
+from ..sim.node import StoredItem
+from ..vsm.index import LocalVsmIndex
+from ..vsm.sparse import Corpus, SparseVector
+from .angles import absolute_angle_from_arrays
+from .directory import publish_pointer as _publish_pointer
+from .firsthop import FirstHopSelector
+from .knees import equalizer_from_sample
+from .loadbalance import HotRegionNamer, detect_hot_regions, uniform_namer
+from .naming import CdfEqualizer, angle_to_key, corpus_to_keys
+from .publish import PublishResult, ReplacementPolicy, publish_item
+from .replication import ReplicationManager
+from .search import (
+    Discovery,
+    FindResult,
+    RetrieveResult,
+    find_item,
+    retrieve,
+    retrieve_with_pointers,
+)
+
+__all__ = ["PlacementScheme", "MeteorographConfig", "NodeState", "Meteorograph"]
+
+
+class PlacementScheme(enum.Enum):
+    """The paper's three evaluated configurations (Figs. 7–9)."""
+
+    NONE = "none"
+    UNUSED_HASH = "unused-hash"
+    UNUSED_HASH_HOT = "unused-hash+hot-regions"
+
+    @property
+    def uses_equalizer(self) -> bool:
+        return self is not PlacementScheme.NONE
+
+    @property
+    def uses_hot_regions(self) -> bool:
+        return self is PlacementScheme.UNUSED_HASH_HOT
+
+
+@dataclass(frozen=True)
+class MeteorographConfig:
+    """Build-time configuration; every knob defaults to the paper's setup."""
+
+    scheme: PlacementScheme = PlacementScheme.UNUSED_HASH_HOT
+    #: Per-node item capacity; None = infinite (Figs. 7–8).  Fig. 9/10 use 8·c.
+    node_capacity: Optional[int] = None
+    #: Copies per item (1 = no replication).  §4.3 sweeps {1, 2, 4, 8}.
+    replication_factor: int = 1
+    directory_pointers: bool = False
+    #: Max displacement-chain hops per publish; None = infinite (§4: "the
+    #: hop count of each publishing is infinite").
+    hop_budget: Optional[int] = None
+    replacement_policy: ReplacementPolicy = ReplacementPolicy.ANGLE
+    overlay_kind: Literal["tornado", "chord"] = "tornado"
+    digit_bits: int = 2
+    leaf_set_size: int = 4
+    #: Knee budget for the Eq. 6 fit (the paper hand-picked 5).
+    max_remap_knees: int = 8
+    hot_region_bins: int = 128
+    hot_region_threshold: float = 1.5
+    hot_region_max_subknees: int = 12
+    #: True routes every join through the bootstrap protocol (charges
+    #: join messages); False inserts nodes directly — faster builds for
+    #: experiments that only measure query costs.
+    protocol_joins: bool = False
+
+
+class NodeState:
+    """Meteorograph-side state for one node: the local VSM index plus a
+    sorted (angle key, item id) ladder for O(log c) extreme lookups."""
+
+    __slots__ = ("index", "_ladder")
+
+    def __init__(self, dim: int) -> None:
+        self.index = LocalVsmIndex(dim)
+        self._ladder: list[tuple[int, int]] = []
+
+    def add(self, item: StoredItem) -> None:
+        self.index.add(item)
+        bisect.insort(self._ladder, (item.angle_key, item.item_id))
+
+    def remove(self, item_id: int) -> StoredItem:
+        item = self.index.remove(item_id)
+        i = bisect.bisect_left(self._ladder, (item.angle_key, item_id))
+        if i < len(self._ladder) and self._ladder[i] == (item.angle_key, item_id):
+            del self._ladder[i]
+        return item
+
+    def min_angle_item(self) -> Optional[StoredItem]:
+        if not self._ladder:
+            return None
+        _, item_id = self._ladder[0]
+        return self.index._items[item_id]  # noqa: SLF001 - hot path accessor
+
+    def max_angle_item(self) -> Optional[StoredItem]:
+        if not self._ladder:
+            return None
+        _, item_id = self._ladder[-1]
+        return self.index._items[item_id]  # noqa: SLF001 - hot path accessor
+
+
+class Meteorograph:
+    """A built, populated-or-populatable Meteorograph deployment."""
+
+    def __init__(
+        self,
+        *,
+        space: KeySpace,
+        network: Network,
+        overlay: Overlay,
+        dim: int,
+        config: MeteorographConfig,
+        equalizer: Optional[CdfEqualizer],
+        bootstrap: Optional[Bootstrap] = None,
+        first_hop: Optional[FirstHopSelector] = None,
+    ) -> None:
+        self.space = space
+        self.network = network
+        self.overlay = overlay
+        self.dim = dim
+        self.config = config
+        self.equalizer = equalizer
+        self.bootstrap = bootstrap
+        self.first_hop = first_hop
+        self._states: dict[int, NodeState] = {}
+        #: item id → (angle key, publish key) for everything published.
+        self._published: dict[int, tuple[int, int]] = {}
+        self.replication: Optional[ReplicationManager] = (
+            ReplicationManager(self, config.replication_factor)
+            if config.replication_factor > 1
+            else None
+        )
+        #: Optional §6 notification service; set via
+        #: ``NotificationService(system).attach()``.
+        self.notifications = None
+        #: Filled by :meth:`build` when ``protocol_joins`` is on.
+        self.join_stats: dict[str, int] = {"messages": 0, "retries": 0}
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        n_nodes: int,
+        dim: int,
+        *,
+        rng: np.random.Generator,
+        config: Optional[MeteorographConfig] = None,
+        sample: Optional[Corpus] = None,
+        space: Optional[KeySpace] = None,
+        simulator: Optional[Simulator] = None,
+        sink: Optional[MetricSink] = None,
+        capacity_fn=None,
+    ) -> "Meteorograph":
+        """Stand up an ``n_nodes`` overlay ready for publishing.
+
+        ``sample`` is the §3.4 sampled data set (e.g. 0.5% of the corpus)
+        used to fit the Eq. 6 equalizer, detect hot regions, and power
+        first-hop selection; it is mandatory for every scheme except
+        ``NONE``.
+
+        ``capacity_fn(rng) -> Optional[int]`` assigns *per-node*
+        capacities — Tornado's capability-aware heterogeneity, where
+        strong peers contribute much more storage than weak ones.  When
+        omitted, every node gets ``config.node_capacity``.
+        """
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        cfg = config if config is not None else MeteorographConfig()
+        sp = space if space is not None else KeySpace()
+        network = Network(sink=sink, simulator=simulator)
+        if cfg.overlay_kind == "tornado":
+            overlay: Overlay = TornadoOverlay(
+                sp, network, digit_bits=cfg.digit_bits, leaf_set_size=cfg.leaf_set_size
+            )
+        elif cfg.overlay_kind == "chord":
+            overlay = ChordOverlay(sp, network, successor_list_size=cfg.leaf_set_size * 2)
+        else:
+            raise ValueError(f"unknown overlay kind {cfg.overlay_kind!r}")
+
+        equalizer: Optional[CdfEqualizer] = None
+        namer = uniform_namer(sp)
+        first_hop: Optional[FirstHopSelector] = None
+        if cfg.scheme.uses_equalizer:
+            if sample is None:
+                raise ValueError(f"scheme {cfg.scheme} requires a sample corpus")
+            angle_keys = corpus_to_keys(sample, sp)
+            equalizer = equalizer_from_sample(
+                angle_keys, sp, max_knees=cfg.max_remap_knees
+            )
+            balanced = equalizer.remap_many(angle_keys)
+            if cfg.scheme.uses_hot_regions:
+                regions = detect_hot_regions(
+                    balanced,
+                    sp,
+                    bins=cfg.hot_region_bins,
+                    threshold=cfg.hot_region_threshold,
+                    max_subknees=cfg.hot_region_max_subknees,
+                )
+                if regions:
+                    namer = HotRegionNamer(sp, regions)
+            first_hop = FirstHopSelector(sample, balanced, angle_keys)
+        elif sample is not None:
+            angle_keys = corpus_to_keys(sample, sp)
+            first_hop = FirstHopSelector(sample, angle_keys, angle_keys)
+
+        system = cls(
+            space=sp,
+            network=network,
+            overlay=overlay,
+            dim=dim,
+            config=cfg,
+            equalizer=equalizer,
+            first_hop=first_hop,
+        )
+        bootstrap = Bootstrap(
+            overlay,
+            naming_info={"equalizer": equalizer},
+            sample_set=sample,
+        )
+        system.bootstrap = bootstrap
+        def capacity_of() -> Optional[int]:
+            return cfg.node_capacity if capacity_fn is None else capacity_fn(rng)
+
+        seed_id = namer(rng)
+        bootstrap.seed(seed_id, capacity=capacity_of())
+        join_messages = 0
+        join_retries = 0
+        for _ in range(n_nodes - 1):
+            if cfg.protocol_joins:
+                jr = bootstrap.join(namer, rng, capacity=capacity_of())
+                join_messages += jr.join_messages
+                join_retries += jr.retries
+            else:
+                node_id = namer(rng)
+                while node_id in overlay.ring:
+                    node_id = namer(rng)
+                overlay.add_node(node_id, capacity=capacity_of())
+        system.join_stats = {"messages": join_messages, "retries": join_retries}
+        return system
+
+    # ------------------------------------------------------------------- keys
+
+    def item_keys(self, keyword_ids: np.ndarray, weights: np.ndarray) -> tuple[int, int]:
+        """(angle key, publish key) of one item vector."""
+        theta = absolute_angle_from_arrays(np.asarray(weights, dtype=np.float64), self.dim)
+        angle_key = angle_to_key(theta, self.space)
+        if self.equalizer is not None:
+            return angle_key, self.equalizer.remap(angle_key)
+        return angle_key, angle_key
+
+    def corpus_keys(self, corpus: Corpus) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`item_keys` over a corpus."""
+        if corpus.dim != self.dim:
+            raise ValueError(f"corpus dim {corpus.dim} != system dim {self.dim}")
+        angle_keys = corpus_to_keys(corpus, self.space)
+        if self.equalizer is not None:
+            return angle_keys, self.equalizer.remap_many(angle_keys)
+        return angle_keys, angle_keys.copy()
+
+    def query_angle_key(self, query: SparseVector) -> int:
+        """Eq. 5 key of a query vector."""
+        theta = absolute_angle_from_arrays(query.values, self.dim)
+        return angle_to_key(theta, self.space)
+
+    def query_key(self, query: SparseVector) -> int:
+        """The query's key in publish space (angle key, remapped if active)."""
+        k = self.query_angle_key(query)
+        return self.equalizer.remap(k) if self.equalizer is not None else k
+
+    # -------------------------------------------------------------- node state
+
+    def state(self, node_id: int) -> NodeState:
+        st = self._states.get(node_id)
+        if st is None:
+            st = NodeState(self.dim)
+            self._states[node_id] = st
+        return st
+
+    def store_at(self, node_id: int, item: StoredItem) -> None:
+        """Store an item on a node, keeping node storage and index in sync."""
+        self.network.node(node_id).store(item)
+        self.state(node_id).add(item)
+        if self.notifications is not None and not item.is_replica:
+            self.notifications.on_stored(node_id, item)
+
+    def evict_from(self, node_id: int, item_id: int) -> StoredItem:
+        self.state(node_id).remove(item_id)
+        return self.network.node(node_id).evict(item_id)
+
+    def publish_pointer(self, origin: int, item: StoredItem) -> int:
+        return _publish_pointer(self, origin, item)
+
+    def register_published(self, item_id: int, angle_key: int, publish_key: int) -> None:
+        self._published[item_id] = (angle_key, publish_key)
+
+    def published_key_of(self, item_id: int) -> int:
+        try:
+            return self._published[item_id][1]
+        except KeyError:
+            raise KeyError(f"item {item_id} was never published") from None
+
+    def published_angle_key_of(self, item_id: int) -> int:
+        try:
+            return self._published[item_id][0]
+        except KeyError:
+            raise KeyError(f"item {item_id} was never published") from None
+
+    @property
+    def published_count(self) -> int:
+        return len(self._published)
+
+    # --------------------------------------------------------------------- API
+
+    def random_origin(self, rng: np.random.Generator) -> int:
+        """A uniformly random live node id (query entry point)."""
+        alive = [nid for nid in self.overlay.ring if self.network.is_alive(nid)]
+        if not alive:
+            raise RuntimeError("no live nodes")
+        return alive[int(rng.integers(0, len(alive)))]
+
+    def publish(
+        self,
+        origin: int,
+        item_id: int,
+        keyword_ids: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray,
+        *,
+        payload: object = None,
+        hop_budget: Optional[int] = "config",  # type: ignore[assignment]
+    ) -> PublishResult:
+        """Publish one item from ``origin`` (Fig. 2 ``_publish``)."""
+        budget = self.config.hop_budget if hop_budget == "config" else hop_budget
+        kw = np.asarray(keyword_ids, dtype=np.int64)
+        w = np.asarray(weights, dtype=np.float64)
+        result = publish_item(
+            self,
+            origin,
+            item_id,
+            kw,
+            w,
+            payload=payload,
+            hop_budget=budget,
+            policy=self.config.replacement_policy,
+        )
+        angle_key, publish_key = self.item_keys(kw, w)
+        self.register_published(item_id, angle_key, publish_key)
+        return result
+
+    def publish_vector(
+        self, origin: int, item_id: int, vector: SparseVector, **kwargs
+    ) -> PublishResult:
+        return self.publish(origin, item_id, vector.indices, vector.values, **kwargs)
+
+    def publish_corpus(
+        self,
+        corpus: Corpus,
+        rng: np.random.Generator,
+        *,
+        item_ids: Optional[Sequence[int]] = None,
+        origin: Optional[int] = None,
+    ) -> list[PublishResult]:
+        """Publish every corpus row (keys batch-computed, vectorised).
+
+        Each item is published from a uniformly random live node unless
+        ``origin`` pins one.  ``item_ids`` renames rows (default: row
+        index).
+        """
+        angle_keys, publish_keys = self.corpus_keys(corpus)
+        ids = (
+            np.arange(corpus.n_items, dtype=np.int64)
+            if item_ids is None
+            else np.asarray(item_ids, dtype=np.int64)
+        )
+        if ids.shape[0] != corpus.n_items:
+            raise ValueError("item_ids must parallel the corpus")
+        alive = [nid for nid in self.overlay.ring if self.network.is_alive(nid)]
+        if not alive:
+            raise RuntimeError("no live nodes to publish from")
+        origins = (
+            rng.integers(0, len(alive), size=corpus.n_items)
+            if origin is None
+            else None
+        )
+        results: list[PublishResult] = []
+        for row, (i, kw, w) in enumerate(corpus.row_slices()):
+            src = origin if origin is not None else alive[int(origins[row])]
+            res = publish_item(
+                self,
+                src,
+                int(ids[i]),
+                kw,
+                w,
+                hop_budget=self.config.hop_budget,
+                policy=self.config.replacement_policy,
+                precomputed_keys=(int(angle_keys[i]), int(publish_keys[i])),
+            )
+            self.register_published(int(ids[i]), int(angle_keys[i]), int(publish_keys[i]))
+            results.append(res)
+        return results
+
+    def retrieve(
+        self,
+        origin: int,
+        query: SparseVector,
+        amount: Optional[int],
+        *,
+        use_first_hop: bool = False,
+        **kwargs,
+    ) -> RetrieveResult:
+        """Similarity search (Fig. 2 ``_retrieve``; §3.5 optimizations opt-in).
+
+        With ``use_first_hop`` the §3.5.1 start key is taken from the
+        bootstrap sample and the walk sweeps upward through the band.
+        With directory pointers configured, the §3.5.2 protocol is used.
+        """
+        if use_first_hop:
+            if self.first_hop is None:
+                raise RuntimeError("no first-hop selector (no sample at build time)")
+            kws = [int(i) for i in query.indices]
+            angle_space = self.config.directory_pointers
+            start = self.first_hop.start_key(kws, angle_space=angle_space)
+            if start is not None:
+                kwargs.setdefault("start_key", start)
+                # Walk mode lands at the bottom of the (Eq.-6-stretched)
+                # band and sweeps upward, per §3.5.1.  Pointer mode's
+                # band is the compact raw-angle cluster and the sample
+                # minimum is only a lower *estimate* — sweep both ways
+                # so matchers below the sample's min key are not lost.
+                kwargs.setdefault("direction", "both" if angle_space else "up")
+            else:
+                # No full match in the sample (rare conjunction): start
+                # at the best partial match and sweep both ways, since
+                # the position is only approximate.
+                relaxed = self.first_hop.relaxed_start_key(kws, angle_space=angle_space)
+                if relaxed is not None:
+                    kwargs.setdefault("start_key", relaxed[0])
+                    kwargs.setdefault("direction", "both")
+        if self.config.directory_pointers:
+            return retrieve_with_pointers(self, origin, query, amount, **kwargs)
+        return retrieve(self, origin, query, amount, **kwargs)
+
+    def find(self, origin: int, item_id: int, **kwargs) -> FindResult:
+        """Exact-item lookup by its published key (Fig. 9 metric pair)."""
+        return find_item(self, origin, item_id, **kwargs)
+
+    def top_k(
+        self, origin: int, query: SparseVector, k: int, **kwargs
+    ) -> list[Discovery]:
+        """Ranked search: the k most similar discovered items, best first."""
+        res = self.retrieve(origin, query, k, **kwargs)
+        return sorted(res.discoveries, key=lambda d: (-d.score, d.item_id))[:k]
+
+    # ----------------------------------------------------------------- metrics
+
+    def loads(self) -> np.ndarray:
+        """Per-node stored item counts, in node key order (Fig. 8 input)."""
+        return np.array([len(n) for n in self.overlay.nodes()], dtype=np.int64)
+
+    def ideal_load(self) -> float:
+        """c = items / nodes, the paper's per-node ideal."""
+        if self.overlay.size == 0:
+            raise RuntimeError("no nodes")
+        total = self.network.total_items(include_dead=True)
+        return total / self.overlay.size

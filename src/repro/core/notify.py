@@ -1,0 +1,172 @@
+"""Notification — the paper's second §6 future-work item.
+
+    "Meteorograph does not support notification to resource consumers
+    either.  Notification can rapidly transfer the states of resources
+    to subscribed consumers."
+
+A subscription is the dual of a directory pointer: the consumer's
+interest vector is named by its absolute angle (Eq. 5) and the
+subscription record is stored at that key's home node — the very region
+where matching items' publish paths terminate.  On every publish, the
+home node (and its displacement chain) checks stored subscriptions and
+pushes a notification message to each matching subscriber.
+
+Matching uses the paper's own predicate (§2): keyword containment for
+exact subscriptions, or angle/cosine threshold τ for similarity
+subscriptions.  Because subscriptions aggregate exactly like pointers,
+a publish pays O(subscribers-at-home) extra messages, not a broadcast.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..sim.node import StoredItem
+from ..vsm.sparse import SparseVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .meteorograph import Meteorograph
+
+__all__ = ["Subscription", "Notification", "NotificationService"]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One consumer's standing interest.
+
+    ``require_all`` lists keyword ids that must all appear in a
+    published item; ``min_cosine`` additionally (or instead) demands a
+    cosine similarity with the interest vector.  ``home_radius`` is how
+    many neighbor nodes around the interest key also hold the
+    subscription — publishes displaced off the exact home still match.
+    """
+
+    sub_id: int
+    subscriber: int
+    interest: SparseVector
+    require_all: tuple[int, ...] = ()
+    min_cosine: float = 0.0
+    home_radius: int = 2
+
+    def matches(self, item: StoredItem) -> bool:
+        have = set(int(k) for k in item.keyword_ids)
+        if any(int(k) not in have for k in self.require_all):
+            return False
+        if self.min_cosine > 0.0:
+            vec = SparseVector(item.keyword_ids, item.weights, self.interest.dim)
+            if vec.cosine(self.interest) < self.min_cosine:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Notification:
+    sub_id: int
+    subscriber: int
+    item_id: int
+    publisher_node: int
+
+
+class NotificationService:
+    """Publish/subscribe over the angle-key space.
+
+    Wire-up: construct with the system, then route *all* publishes
+    through :meth:`on_stored` (the Meteorograph facade calls it from
+    ``store_at`` when a service is attached via :meth:`attach`).
+    """
+
+    def __init__(self, system: "Meteorograph") -> None:
+        self.system = system
+        self._next_id = itertools.count(1)
+        #: node id → list of subscriptions held there.
+        self._by_node: dict[int, list[Subscription]] = {}
+        self._subs: dict[int, Subscription] = {}
+        self.delivered: list[Notification] = []
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self) -> "NotificationService":
+        """Register with the system so publishes trigger matching."""
+        if self._attached:
+            raise RuntimeError("service already attached")
+        self.system.notifications = self
+        self._attached = True
+        return self
+
+    # -- subscribe -----------------------------------------------------------
+
+    def subscribe(
+        self,
+        subscriber: int,
+        interest: SparseVector,
+        *,
+        require_all: Optional[list[int]] = None,
+        min_cosine: float = 0.0,
+        home_radius: int = 2,
+    ) -> Subscription:
+        """Install a subscription at the interest vector's angle home.
+
+        Charges the O(log N) route plus one message per radius neighbor
+        the record is copied to.
+        """
+        if home_radius < 0:
+            raise ValueError(f"home_radius must be >= 0, got {home_radius}")
+        sub = Subscription(
+            sub_id=next(self._next_id),
+            subscriber=subscriber,
+            interest=interest,
+            require_all=tuple(int(k) for k in (require_all or ())),
+            min_cosine=min_cosine,
+            home_radius=home_radius,
+        )
+        key = self.system.query_angle_key(interest)
+        route = self.system.overlay.route(subscriber, key, kind="subscribe")
+        assert route.home is not None
+        holders = [route.home]
+        for nid in self.system.overlay.closest_neighbors(route.home):
+            if len(holders) > home_radius:
+                break
+            self.system.network.send(route.home, nid, kind="subscribe")
+            holders.append(nid)
+        for nid in holders:
+            self._by_node.setdefault(nid, []).append(sub)
+        self._subs[sub.sub_id] = sub
+        return sub
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        """Remove a subscription everywhere; True if it existed."""
+        sub = self._subs.pop(sub_id, None)
+        if sub is None:
+            return False
+        for subs in self._by_node.values():
+            subs[:] = [s for s in subs if s.sub_id != sub_id]
+        return True
+
+    @property
+    def active_subscriptions(self) -> int:
+        return len(self._subs)
+
+    # -- publish-side hook ---------------------------------------------------------
+
+    def on_stored(self, node_id: int, item: StoredItem) -> list[Notification]:
+        """Match an item just stored at ``node_id`` against local
+        subscriptions; push one message per (live) matching subscriber."""
+        out: list[Notification] = []
+        for sub in self._by_node.get(node_id, []):
+            if not sub.matches(item):
+                continue
+            if self.system.network.try_send(node_id, sub.subscriber, kind="notify") is None:
+                continue
+            note = Notification(sub.sub_id, sub.subscriber, item.item_id, node_id)
+            self.delivered.append(note)
+            out.append(note)
+        return out
+
+    def notifications_for(self, subscriber: int) -> list[Notification]:
+        return [n for n in self.delivered if n.subscriber == subscriber]

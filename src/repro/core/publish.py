@@ -1,0 +1,197 @@
+"""Publishing with least-similar displacement — the ``_publish`` /
+``_forward`` algorithm of Fig. 2.
+
+A publish routes the item to the home node of its publish key.  If the
+home is full, the *least similar* stored item is displaced to the next
+closest node in key order, which may displace again, and so on — a
+displacement chain bounded by the caller's hop budget.  The policy
+guarantees the most similar items stay clustered at and around the home
+(§3.3), which is what the retrieve-side neighbor walk exploits.
+
+Two replacement policies are provided:
+
+* ``COSINE`` — the literal Fig. 2 rule: scan the node's stored items
+  and displace the one with the lowest cosine similarity to the
+  incoming item.  O(stored items) per displacement.
+* ``ANGLE`` — the O(log c) proxy this repo uses at corpus scale: the
+  victim is whichever of {incoming, stored item with min angle key,
+  stored item with max angle key} lies farthest in angle space from the
+  incoming key.  Because the absolute angle *is* the similarity scalar
+  the whole system clusters by, the farthest-extreme item is the
+  least-similar one in the sense that matters for clustering; DESIGN.md
+  records this as a measured-equivalent substitution (the ablation
+  bench compares both).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..sim.node import StoredItem
+from ..vsm.sparse import SparseVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .meteorograph import Meteorograph
+
+__all__ = ["ReplacementPolicy", "PublishResult", "publish_item", "run_displacement_chain"]
+
+
+class ReplacementPolicy(enum.Enum):
+    COSINE = "cosine"
+    ANGLE = "angle"
+
+
+@dataclass
+class PublishResult:
+    """Outcome of one publish request.
+
+    ``success`` is False only when the displacement chain exhausted its
+    hop budget and an item (``dropped_item_id``) had to be dropped — the
+    "inform the application of the failure of publishing" branch.  Note
+    the *incoming* item is stored even then; what drops is the chain's
+    final displaced victim, exactly as in Fig. 2.
+    """
+
+    item_id: int
+    home: int
+    route_hops: int
+    displacement_hops: int = 0
+    dropped_item_id: Optional[int] = None
+    success: bool = True
+    #: node ids touched by the displacement chain, in order (excludes home).
+    chain: list[int] = field(default_factory=list)
+
+    @property
+    def messages(self) -> int:
+        return self.route_hops + self.displacement_hops
+
+
+def _pick_victim(
+    system: "Meteorograph",
+    node_id: int,
+    incoming: StoredItem,
+    policy: ReplacementPolicy,
+) -> StoredItem:
+    """Choose what a full node displaces to admit ``incoming``.
+
+    May return ``incoming`` itself (under ``ANGLE``, when the incoming
+    item is farther from the node's cluster than everything stored —
+    storing it just to displace it again would churn two items instead
+    of one).
+    """
+    state = system.state(node_id)
+    if policy is ReplacementPolicy.COSINE:
+        query = SparseVector(incoming.keyword_ids, incoming.weights, system.dim)
+        victim = state.index.least_similar(query)
+        assert victim is not None, "full node with empty index"
+        return victim
+    lo = state.min_angle_item()
+    hi = state.max_angle_item()
+    assert lo is not None and hi is not None, "full node with empty ladder"
+    candidates = [lo, hi, incoming]
+    return max(
+        candidates,
+        key=lambda it: (abs(it.angle_key - incoming.angle_key), it.item_id),
+    )
+
+
+def run_displacement_chain(
+    system: "Meteorograph",
+    home_id: int,
+    item: StoredItem,
+    *,
+    hop_budget: Optional[int] = None,
+    policy: ReplacementPolicy = ReplacementPolicy.ANGLE,
+) -> PublishResult:
+    """Place ``item`` at ``home_id``, displacing as needed (Fig. 2 loop).
+
+    The chain visits nodes in increasing linear key distance from the
+    home ("closest neighbor" frontier); each full node swaps the
+    incoming item for its least-similar one and pushes the victim on.
+    Charges one ``displace`` message per chain hop.
+    """
+    result = PublishResult(item_id=item.item_id, home=home_id, route_hops=0)
+    current = home_id
+    incoming = item
+    budget = hop_budget
+    frontier = system.overlay.closest_neighbors(home_id, alive_only=True)
+    while True:
+        node = system.network.node(current)
+        if not node.is_full:
+            system.store_at(current, incoming)
+            return result
+        if budget is not None and budget <= 0:
+            # Fig. 2: "if (c = 0) reply a publishing failure" — the item
+            # in flight (original or displaced victim) is dropped.
+            result.success = False
+            result.dropped_item_id = incoming.item_id
+            return result
+        victim = _pick_victim(system, current, incoming, policy)
+        if victim.item_id != incoming.item_id:
+            system.evict_from(current, victim.item_id)
+            system.store_at(current, incoming)
+        # else: incoming itself continues down the chain unstored.
+        next_id = next(frontier, None)
+        if next_id is None:
+            # No node left in the overlay can take the victim.
+            result.success = False
+            result.dropped_item_id = victim.item_id
+            return result
+        system.network.send(current, next_id, kind="displace")
+        result.displacement_hops += 1
+        result.chain.append(next_id)
+        if budget is not None:
+            budget -= 1
+        current = next_id
+        incoming = victim
+
+
+def publish_item(
+    system: "Meteorograph",
+    origin: int,
+    item_id: int,
+    keyword_ids: np.ndarray,
+    weights: np.ndarray,
+    *,
+    payload: object = None,
+    hop_budget: Optional[int] = None,
+    policy: ReplacementPolicy = ReplacementPolicy.ANGLE,
+    precomputed_keys: Optional[tuple[int, int]] = None,
+) -> PublishResult:
+    """Full publish: resolve keys (Eq. 5 / Eq. 6), route, place, replicate.
+
+    ``precomputed_keys`` is the (angle_key, publish_key) pair when the
+    caller batch-computed keys for a whole corpus (the vectorised path);
+    otherwise they are derived here.
+    """
+    if precomputed_keys is None:
+        angle_key, publish_key = system.item_keys(keyword_ids, weights)
+    else:
+        angle_key, publish_key = precomputed_keys
+    item = StoredItem(
+        item_id=item_id,
+        publish_key=publish_key,
+        angle_key=angle_key,
+        keyword_ids=np.asarray(keyword_ids, dtype=np.int64),
+        weights=np.asarray(weights, dtype=np.float64),
+        payload=payload,
+    )
+    route = system.overlay.route(origin, publish_key, kind="publish")
+    assert route.home is not None
+    result = run_displacement_chain(
+        system,
+        route.home,
+        item,
+        hop_budget=hop_budget,
+        policy=policy,
+    )
+    result.route_hops = route.hops
+    if system.config.directory_pointers:
+        system.publish_pointer(route.home, item)
+    if system.replication is not None and result.success:
+        system.replication.replicate(route.home, item)
+    return result

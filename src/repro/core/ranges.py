@@ -1,0 +1,230 @@
+"""Range search — the paper's first §6 future-work item.
+
+    "Currently, Meteorograph does not support range searches, such as
+    discovering machines that have memory in size between 1G and 8G
+    bytes.  Mapping the range of values into the linear structure
+    provided by Tornado may solve this problem."
+
+This module implements exactly that suggestion: an order-preserving map
+from a bounded numeric attribute domain onto a slice of the overlay's
+linear key space.  Publishing an (item, value) pair routes it to the
+key for its value; a range query routes to the low end of the interval
+and sweeps successor nodes until past the high end — the same
+linear-walk machinery the similarity search uses, so the cost is
+O(log N) + (span/c)·O(1) hops.
+
+Multiple attributes coexist by partitioning the key space into
+per-attribute slices (a registry kept by the bootstrap in a real
+deployment; here, on the :class:`RangeDirectory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .meteorograph import Meteorograph
+
+__all__ = ["AttributeSpec", "RangeDirectory", "RangeQueryResult"]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One ordered numeric attribute mapped onto a key-space slice.
+
+    ``lo``/``hi`` bound the value domain (inclusive); ``key_lo``/
+    ``key_hi`` bound the half-open key slice.  ``log_scale`` maps
+    multiplicative domains (memory sizes, frequencies) so that each
+    octave gets equal key width.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    key_lo: int
+    key_hi: int
+    log_scale: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.hi > self.lo:
+            raise ValueError(f"need hi > lo, got [{self.lo}, {self.hi}]")
+        if not self.key_hi > self.key_lo:
+            raise ValueError("need key_hi > key_lo")
+        if self.log_scale and self.lo <= 0:
+            raise ValueError("log_scale requires a positive domain")
+
+    def _fraction(self, value: float) -> float:
+        if self.log_scale:
+            return (np.log(value) - np.log(self.lo)) / (np.log(self.hi) - np.log(self.lo))
+        return (value - self.lo) / (self.hi - self.lo)
+
+    def key_of(self, value: float) -> int:
+        """Order-preserving key for a value (clamped to the domain)."""
+        v = min(max(value, self.lo), self.hi)
+        frac = self._fraction(v)
+        key = self.key_lo + int(frac * (self.key_hi - 1 - self.key_lo))
+        return min(max(key, self.key_lo), self.key_hi - 1)
+
+
+@dataclass
+class RangeQueryResult:
+    attribute: str
+    lo: float
+    hi: float
+    #: (item id, value) pairs in ascending value order.
+    matches: list[tuple[int, float]]
+    route_hops: int
+    walk_hops: int
+
+    @property
+    def messages(self) -> int:
+        return self.route_hops + self.walk_hops
+
+    @property
+    def found(self) -> int:
+        return len(self.matches)
+
+
+class RangeDirectory:
+    """Range-searchable attribute advertisements over a Meteorograph overlay.
+
+    Values are stored as lightweight records on the overlay nodes
+    responsible for their keys (like directory pointers, they do not
+    count against item-storage capacity).
+    """
+
+    def __init__(self, system: "Meteorograph") -> None:
+        self.system = system
+        self._specs: dict[str, AttributeSpec] = {}
+        #: node id → attribute → sorted list of (value, item id).
+        self._records: dict[int, dict[str, list[tuple[float, int]]]] = {}
+
+    # -- schema --------------------------------------------------------------
+
+    def register_attribute(
+        self,
+        name: str,
+        lo: float,
+        hi: float,
+        *,
+        key_lo: Optional[int] = None,
+        key_hi: Optional[int] = None,
+        log_scale: bool = False,
+    ) -> AttributeSpec:
+        """Register an attribute; defaults to an equal share of the key
+        space after the already-registered attributes."""
+        if name in self._specs:
+            raise ValueError(f"attribute {name!r} already registered")
+        modulus = self.system.space.modulus
+        if key_lo is None or key_hi is None:
+            # Carve the next 1/16 slice; deployments with more than 16
+            # attributes pass explicit slices.
+            slice_width = modulus // 16
+            idx = len(self._specs)
+            if idx >= 16:
+                raise ValueError("default slicing supports 16 attributes; pass key_lo/key_hi")
+            key_lo = idx * slice_width
+            key_hi = key_lo + slice_width
+        spec = AttributeSpec(name, lo, hi, key_lo, key_hi, log_scale)
+        self._specs[name] = spec
+        return spec
+
+    def spec(self, name: str) -> AttributeSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(f"unknown attribute {name!r}") from None
+
+    # -- publish ----------------------------------------------------------------
+
+    def advertise(self, origin: int, item_id: int, name: str, value: float) -> int:
+        """Publish one (item, value) record; returns route hops charged."""
+        spec = self.spec(name)
+        key = spec.key_of(value)
+        route = self.system.overlay.route(origin, key, kind="range-publish")
+        assert route.home is not None
+        bucket = self._records.setdefault(route.home, {}).setdefault(name, [])
+        entry = (float(value), int(item_id))
+        import bisect
+
+        bisect.insort(bucket, entry)
+        return route.hops
+
+    # -- query ----------------------------------------------------------------------
+
+    def query(
+        self, origin: int, name: str, lo: float, hi: float, *, max_walk: int = 4096
+    ) -> RangeQueryResult:
+        """All items with ``lo <= value <= hi``.
+
+        Routes to the home of ``key_of(lo)`` and walks successors until
+        the walk passes ``key_of(hi)`` — order preservation makes the
+        scan complete without visiting anything outside the interval
+        (plus one boundary node on each side).
+        """
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        spec = self.spec(name)
+        key_lo, key_hi = spec.key_of(lo), spec.key_of(hi)
+        route = self.system.overlay.route(origin, key_lo, kind="range-query")
+        assert route.home is not None
+        result = RangeQueryResult(name, lo, hi, [], route.hops, 0)
+
+        def harvest(node_id: int) -> None:
+            for value, item_id in self._records.get(node_id, {}).get(name, []):
+                if lo <= value <= hi:
+                    result.matches.append((item_id, value))
+
+        harvest(route.home)
+        ring = self.system.overlay.ring
+        space = self.system.space
+        current = route.home
+        walked = 0
+        while walked < max_walk:
+            nxt = ring.successor(space.wrap(current + 1))
+            if nxt <= current:
+                break  # wrapped around the ring: interval exhausted
+            past_end = nxt > key_hi
+            if self.system.network.is_alive(nxt):
+                self.system.network.send(current, nxt, kind="range-query")
+                result.walk_hops += 1
+                # One node beyond key_hi is still harvested: a record
+                # whose value key sits just under key_hi may live there
+                # (its numerically closest node can lie above the key).
+                harvest(nxt)
+            current = nxt
+            walked += 1
+            if past_end:
+                break
+        result.matches.sort(key=lambda t: (t[1], t[0]))
+        return result
+
+    def query_all(
+        self,
+        origin: int,
+        constraints: dict,
+        *,
+        max_walk: int = 4096,
+    ) -> list[int]:
+        """Conjunction over several attributes: items satisfying every
+        ``{name: (lo, hi)}`` constraint.
+
+        One range sweep per attribute (cheapest-span first would be an
+        optimisation; ranges here are swept in name order and
+        intersected at the querier, costing the sum of the sweeps — the
+        multi-attribute analogue of §1's multi-keyword discussion).
+        """
+        if not constraints:
+            raise ValueError("need at least one constraint")
+        acc: Optional[set[int]] = None
+        for name in sorted(constraints):
+            lo, hi = constraints[name]
+            res = self.query(origin, name, lo, hi, max_walk=max_walk)
+            ids = {item_id for item_id, _ in res.matches}
+            acc = ids if acc is None else acc & ids
+            if not acc:
+                break
+        return sorted(acc or ())

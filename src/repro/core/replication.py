@@ -1,0 +1,157 @@
+"""Replication and failover — §3.6.
+
+Each published item keeps ``k`` live copies: the primary at its home
+("virtual home") plus ``k−1`` replicas at the nodes with IDs
+numerically closest to the home.  Because those are exactly the nodes
+greedy routing falls back to when the home dies, a query that routes to
+the closest *live* node lands on a replica whenever any copy survives —
+the paper's ``1 − p^k`` loss bound.
+
+The manager also implements the periodic monitoring/republishing the
+paper describes: :meth:`ReplicationManager.repair` re-establishes
+missing copies from any surviving holder, and :meth:`schedule` wires it
+to the event engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.node import StoredItem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .meteorograph import Meteorograph
+
+__all__ = ["ReplicationManager", "ReplicaRecord"]
+
+
+@dataclass
+class ReplicaRecord:
+    """Bookkeeping for one item's copies (primary + replicas)."""
+
+    item: StoredItem
+    primary: int
+    holders: set[int] = field(default_factory=set)
+
+
+class ReplicationManager:
+    """Maintains ``factor`` copies of every published item.
+
+    ``factor=1`` means primary-only (replication effectively off, the
+    paper's baseline curve).  Replicas respect node capacity: a full
+    candidate is skipped rather than displacing real items, and
+    ``skipped_replicas`` counts how often that happened.
+    """
+
+    def __init__(self, system: "Meteorograph", factor: int) -> None:
+        if factor < 1:
+            raise ValueError(f"replication factor must be >= 1, got {factor}")
+        self.system = system
+        self.factor = factor
+        self.records: dict[int, ReplicaRecord] = {}
+        self.skipped_replicas = 0
+
+    # -- placement ------------------------------------------------------------
+
+    def replicate(self, home_id: int, item: StoredItem) -> int:
+        """Place ``factor − 1`` replicas around ``home_id``.
+
+        Returns the number of ``replicate`` messages charged (one per
+        placed copy; the replication homes are the home's immediate
+        ring neighbors, so each push is a single hop via the leaf set).
+        """
+        record = self.records.setdefault(
+            item.item_id, ReplicaRecord(item=item, primary=home_id, holders=set())
+        )
+        record.holders.add(home_id)
+        if self.factor == 1:
+            return 0
+        placed = 0
+        for target in self.system.overlay.replica_homes(home_id, self.factor - 1):
+            if target in record.holders:
+                continue
+            if self._place_replica(home_id, target, item, record):
+                placed += 1
+            if len(record.holders) >= self.factor:
+                break
+        return placed
+
+    def _place_replica(
+        self, src: int, target: int, item: StoredItem, record: ReplicaRecord
+    ) -> bool:
+        node = self.system.network.try_send(src, target, kind="replicate")
+        if node is None:
+            return False
+        if node.is_full:
+            self.skipped_replicas += 1
+            return False
+        replica = StoredItem(
+            item_id=item.item_id,
+            publish_key=item.publish_key,
+            angle_key=item.angle_key,
+            keyword_ids=item.keyword_ids,
+            weights=item.weights,
+            payload=item.payload,
+            replica_of=record.primary,
+        )
+        self.system.store_at(target, replica)
+        record.holders.add(target)
+        return True
+
+    # -- introspection -------------------------------------------------------------
+
+    def live_copies(self, item_id: int) -> int:
+        """How many copies of an item are currently reachable."""
+        record = self.records.get(item_id)
+        if record is None:
+            return 0
+        net = self.system.network
+        return sum(
+            1
+            for h in record.holders
+            if h in net and net.is_alive(h) and net.node(h).has_item(item_id)
+        )
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def repair(self) -> int:
+        """Republish items whose live copy count dropped below ``factor``.
+
+        Any surviving holder acts as the source; the new copies go to
+        the current replica homes of the item's key (the home may have
+        shifted after departures).  Returns replicas placed.
+        """
+        placed = 0
+        for item_id, record in self.records.items():
+            live = [
+                h
+                for h in record.holders
+                if self.system.network.is_alive(h)
+                and self.system.network.node(h).has_item(item_id)
+            ]
+            if not live or len(live) >= self.factor:
+                continue
+            src = live[0]
+            new_home = self.system.overlay.live_home(record.item.publish_key)
+            if new_home is None:
+                continue
+            candidates = [new_home] + self.system.overlay.replica_homes(
+                new_home, self.factor
+            )
+            for target in candidates:
+                if len(live) >= self.factor:
+                    break
+                if target in live or not self.system.network.is_alive(target):
+                    continue
+                if self._place_replica(src, target, record.item, record):
+                    live.append(target)
+                    placed += 1
+        return placed
+
+    def schedule(self, interval: float) -> None:
+        """Run :meth:`repair` periodically on the attached simulator."""
+        sim = self.system.network.simulator
+        if sim is None:
+            raise RuntimeError("network has no simulator for periodic repair")
+        sim.schedule_every(interval, lambda: self.repair())

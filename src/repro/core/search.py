@@ -1,0 +1,379 @@
+"""Retrieval: ranked search, neighbor walks, exact-item lookup (Fig. 2).
+
+The retrieve algorithm mirrors publish: resolve the query's key, route
+to its home, harvest the local index, and — when the home cannot fill
+the requested ``amount`` — consult closest neighbors in key order.
+Because publish clusters similar items at and around the home, the walk
+terminates after ~k/c nodes for a k-item request.
+
+Three entry points:
+
+* :func:`retrieve` — the plain Fig. 2 ``_retrieve`` (+ neighbor walk).
+* :func:`find_item` — exact-item lookup used by the Fig. 9 experiment,
+  reporting both the "Closest" hop count (route) and the "Neighbors"
+  hop count (walk to wherever displacement actually left the item).
+* :func:`retrieve_with_pointers` — the §3.5.2 two-stage protocol over
+  directory pointers (pointer home first, then sequential body
+  fetches), giving the paper's ``(1 + k/c)·O(log N)`` message bound
+  while item bodies stay uniformly spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Literal, Optional, Sequence
+
+from ..vsm.sparse import SparseVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .meteorograph import Meteorograph
+
+__all__ = ["Discovery", "RetrieveResult", "FindResult", "retrieve", "find_item", "retrieve_with_pointers"]
+
+Direction = Literal["both", "up", "down"]
+
+
+@dataclass(frozen=True)
+class Discovery:
+    """One matching item, with the sequential hop count at which the
+    query first reached it (the Fig. 10(a) per-item metric)."""
+
+    item_id: int
+    node_id: int
+    score: float
+    hops: int
+
+
+@dataclass
+class RetrieveResult:
+    discoveries: list[Discovery] = field(default_factory=list)
+    route_hops: int = 0
+    walk_hops: int = 0
+    fetch_hops: int = 0
+    reply_messages: int = 0
+    visited: list[int] = field(default_factory=list)
+    #: True when the request was fully satisfied (amount reached, or the
+    #: walk ended by patience/exhaustion for unbounded requests).
+    complete: bool = True
+
+    @property
+    def messages(self) -> int:
+        return self.route_hops + self.walk_hops + self.fetch_hops + self.reply_messages
+
+    @property
+    def found(self) -> int:
+        return len(self.discoveries)
+
+    def item_ids(self) -> list[int]:
+        return [d.item_id for d in self.discoveries]
+
+
+@dataclass(frozen=True)
+class FindResult:
+    """Fig. 9's two curves for one exact-item query."""
+
+    item_id: int
+    found: bool
+    closest_hops: int  # route to the key's home ("Closest")
+    total_hops: int  # route + neighbor walk to the item ("Neighbors")
+    messages: int
+    node_id: Optional[int] = None
+
+
+def _walk_order(
+    system: "Meteorograph", home: int, direction: Direction
+):
+    """Frontier of nodes to consult after the home, per walk direction."""
+    if direction == "both":
+        yield from system.overlay.closest_neighbors(home, alive_only=True)
+        return
+    ring = system.overlay.ring
+    space = system.space
+    cur = home
+    seen = {home}
+    for _ in range(len(ring)):
+        nxt = ring.successor(space.wrap(cur + 1)) if direction == "up" else ring.predecessor(cur)
+        if nxt in seen:
+            return
+        # The angle→key mapping is a half-circle, not a ring: a
+        # directional sweep stops at the end of the space instead of
+        # wrapping around to the other extreme.
+        if direction == "up" and nxt < cur:
+            return
+        if direction == "down" and nxt > cur:
+            return
+        cur = nxt
+        seen.add(cur)
+        if system.network.is_alive(cur):
+            yield cur
+
+
+def retrieve(
+    system: "Meteorograph",
+    origin: int,
+    query: SparseVector,
+    amount: Optional[int],
+    *,
+    require_all: Optional[Sequence[int]] = None,
+    min_score: float = 0.0,
+    patience: int = 8,
+    max_walk: Optional[int] = None,
+    start_key: Optional[int] = None,
+    direction: Direction = "both",
+) -> RetrieveResult:
+    """Fig. 2 ``_retrieve`` with the closest-neighbor walk.
+
+    ``amount=None`` means "find everything": the walk continues until
+    ``patience`` consecutive nodes contribute nothing (the clustering
+    property makes a gap of that size strong evidence the band is
+    exhausted) or ``max_walk`` nodes were consulted.
+
+    ``start_key`` overrides the query's own key — this is how the
+    §3.5.1 first-hop optimization plugs in (see
+    :mod:`repro.core.firsthop`), and ``direction="up"`` starts the walk
+    at the low end of a keyword band and sweeps through it.
+    """
+    if amount is not None and amount < 1:
+        raise ValueError(f"amount must be >= 1 or None, got {amount}")
+    if patience < 1:
+        raise ValueError(f"patience must be >= 1, got {patience}")
+    key = start_key if start_key is not None else system.query_key(query)
+    route = system.overlay.route(origin, key, kind="retrieve")
+    assert route.home is not None
+    result = RetrieveResult(route_hops=route.hops)
+    seen_items: set[int] = set()
+
+    def harvest(node_id: int, hops_here: int) -> int:
+        state = system.state(node_id)
+        remaining = None if amount is None else amount - len(result.discoveries)
+        hits = state.index.query(
+            query, limit=remaining, require_all=require_all, min_score=min_score
+        )
+        fresh = 0
+        for h in hits:
+            if h.item.item_id in seen_items:
+                continue
+            seen_items.add(h.item.item_id)
+            result.discoveries.append(
+                Discovery(h.item.item_id, node_id, h.score, hops_here)
+            )
+            fresh += 1
+        if fresh:
+            result.reply_messages += 1
+        return fresh
+
+    result.visited.append(route.home)
+    harvest(route.home, route.hops)
+    dry = 0
+    walked = 0
+    current = route.home
+    for neighbor in _walk_order(system, route.home, direction):
+        if amount is not None and len(result.discoveries) >= amount:
+            break
+        if max_walk is not None and walked >= max_walk:
+            result.complete = amount is None
+            break
+        if amount is None and dry >= patience:
+            break
+        system.network.send(current, neighbor, kind="retrieve")
+        current = neighbor
+        walked += 1
+        result.walk_hops += 1
+        result.visited.append(neighbor)
+        fresh = harvest(neighbor, route.hops + walked)
+        dry = 0 if fresh else dry + 1
+    if amount is not None and len(result.discoveries) < amount:
+        result.complete = False
+    return result
+
+
+def find_item(
+    system: "Meteorograph",
+    origin: int,
+    item_id: int,
+    *,
+    max_walk: Optional[int] = None,
+) -> FindResult:
+    """Locate one specific published item (the Fig. 9 experiment).
+
+    Routes to the home of the item's publish key ("Closest"), then
+    walks closest neighbors until some node — or a live replica holder —
+    has the item ("Neighbors").  With displacement active the item may
+    sit several neighbors away from its nominal home; with failures the
+    walk lands on replicas.
+    """
+    publish_key = system.published_key_of(item_id)
+    route = system.overlay.route(origin, publish_key, kind="retrieve")
+    assert route.home is not None
+    messages = route.hops
+
+    def holds(node_id: int) -> bool:
+        return system.network.node(node_id).has_item(item_id)
+
+    if holds(route.home):
+        return FindResult(item_id, True, route.hops, route.hops, messages, route.home)
+    walked = 0
+    current = route.home
+    for neighbor in system.overlay.closest_neighbors(route.home, alive_only=True):
+        if max_walk is not None and walked >= max_walk:
+            break
+        system.network.send(current, neighbor, kind="retrieve")
+        current = neighbor
+        walked += 1
+        messages += 1
+        if holds(neighbor):
+            return FindResult(
+                item_id, True, route.hops, route.hops + walked, messages, neighbor
+            )
+    return FindResult(item_id, False, route.hops, route.hops + walked, messages, None)
+
+
+def retrieve_with_pointers(
+    system: "Meteorograph",
+    origin: int,
+    query: SparseVector,
+    amount: Optional[int],
+    *,
+    require_all: Optional[Sequence[int]] = None,
+    min_score: float = 0.0,
+    patience: int = 8,
+    max_walk: Optional[int] = None,
+    start_key: Optional[int] = None,
+    direction: Direction = "both",
+) -> RetrieveResult:
+    """§3.5.2: similarity search via directory pointers.
+
+    Stage 1 routes to the query's *angle* key and sweeps the pointer
+    band (pointers of similar items aggregate there even though bodies
+    are spread by Eq. 6).  Stage 2 fetches bodies: one O(log N) route
+    per distinct body-holding node, issued sequentially; each queried
+    node replies with its matches (k′ of them), and fetching stops as
+    soon as the running total reaches ``amount`` — the (1 + k/c)·O(log N)
+    accounting of §3.5.2.
+
+    Per-item discovery hops are charged as stage-1 hops at the pointer
+    + the body fetch route, i.e. the sequential path the paper counts.
+    """
+    if not system.config.directory_pointers:
+        raise RuntimeError("directory pointers are disabled in this configuration")
+    if patience < 1:
+        raise ValueError(f"patience must be >= 1, got {patience}")
+    key = start_key if start_key is not None else system.query_angle_key(query)
+    route = system.overlay.route(origin, key, kind="retrieve")
+    assert route.home is not None
+    result = RetrieveResult(route_hops=route.hops)
+    result.visited.append(route.home)
+
+    require = None if require_all is None else [int(k) for k in require_all]
+
+    def matching_pointers(node_id: int) -> list:
+        node = system.network.node(node_id)
+        out = []
+        for p in node.pointers():
+            if require is not None:
+                have = set(int(k) for k in p.keyword_ids)
+                if not all(k in have for k in require):
+                    continue
+            else:
+                # Without an exact filter, a pointer is a candidate when
+                # it shares at least one query keyword.
+                qset = set(int(i) for i in query.indices)
+                if not qset.intersection(int(k) for k in p.keyword_ids):
+                    continue
+            out.append(p)
+        return out
+
+    # Stage 1: sweep the pointer band.
+    pointers = []
+    pointer_hop: dict[int, int] = {}
+    hits = matching_pointers(route.home)
+    for p in hits:
+        pointer_hop[p.item_id] = route.hops
+    pointers.extend(hits)
+    dry = 0
+    walked = 0
+    current = route.home
+    for neighbor in _walk_order(system, route.home, direction):
+        if dry >= patience:
+            break
+        if max_walk is not None and walked >= max_walk:
+            break
+        if amount is not None and len(pointers) >= amount:
+            break
+        system.network.send(current, neighbor, kind="retrieve")
+        current = neighbor
+        walked += 1
+        result.walk_hops += 1
+        result.visited.append(neighbor)
+        hits = matching_pointers(neighbor)
+        for p in hits:
+            pointer_hop.setdefault(p.item_id, route.hops + walked)
+        pointers.extend(hits)
+        dry = 0 if hits else dry + 1
+
+    # Stage 2: sequential body fetches, one route per distinct body home.
+    by_home: dict[int, list] = {}
+    for p in pointers:
+        body_home = system.overlay.home(p.body_key)
+        by_home.setdefault(body_home, []).append(p)
+    fetch_origin = route.home
+    seen_items: set[int] = set()
+
+    def harvest_at(node_id: int, hops_here_of, limit_left) -> int:
+        state = system.state(node_id)
+        hits = state.index.query(
+            query, limit=limit_left, require_all=require, min_score=min_score
+        )
+        fresh = 0
+        for h in hits:
+            if h.item.item_id in seen_items:
+                continue
+            seen_items.add(h.item.item_id)
+            result.discoveries.append(
+                Discovery(h.item.item_id, node_id, h.score, hops_here_of(h.item.item_id))
+            )
+            fresh += 1
+        return fresh
+
+    for body_home in sorted(by_home, key=lambda h: min(p.item_id for p in by_home[h])):
+        if amount is not None and len(result.discoveries) >= amount:
+            break
+        wanted = {p.item_id for p in by_home[body_home]}
+        fetch = system.overlay.route(fetch_origin, body_home, kind="retrieve")
+        result.fetch_hops += fetch.hops
+        result.reply_messages += 1  # the k′-items reply to the pointer home
+        terminal = fetch.home
+        assert terminal is not None
+        remaining = None if amount is None else amount - len(result.discoveries)
+        harvest_at(
+            terminal,
+            lambda iid: pointer_hop.get(iid, route.hops) + fetch.hops,
+            remaining,
+        )
+        # Displacement (Fig. 2) may have pushed pointer-promised bodies
+        # onto the home's neighbors; extend the fetch with the standard
+        # closest-neighbor walk until every promised item is accounted
+        # for (bounded by patience, like the stage-1 sweep).
+        missing = wanted - seen_items
+        if missing:
+            walked = 0
+            current = terminal
+            for neighbor in system.overlay.closest_neighbors(terminal, alive_only=True):
+                if not missing or walked >= max(patience, 4):
+                    break
+                if amount is not None and len(result.discoveries) >= amount:
+                    break
+                system.network.send(current, neighbor, kind="retrieve")
+                current = neighbor
+                walked += 1
+                result.fetch_hops += 1
+                depth = walked
+                harvest_at(
+                    neighbor,
+                    lambda iid, d=depth: pointer_hop.get(iid, route.hops) + fetch.hops + d,
+                    None if amount is None else amount - len(result.discoveries),
+                )
+                missing -= seen_items
+    if amount is not None and len(result.discoveries) < amount:
+        result.complete = False
+    return result

@@ -1,0 +1,152 @@
+"""Experiments X-CHORD and X-ABL: portability and design ablations.
+
+* **Overlay portability** (§6's claim): the identical Meteorograph
+  stack on the Tornado-style overlay vs Chord — routing cost and recall
+  should match in shape, demonstrating the 1-D-key-space abstraction
+  holds.
+* **Design ablations** (DESIGN.md X-ABL): leaf-set size, digit radix,
+  replacement policy (exact cosine vs angle proxy), directory pointers
+  on/off, first-hop on/off — each isolated with everything else fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import PlacementScheme, ReplacementPolicy
+from ..sim.metrics import HopHistogram
+from ..workload import WorldCupTrace, keyword_ground_truth, keyword_query, nth_popular_keyword
+from .common import RowSet, build_system, default_trace, timer
+
+__all__ = ["run_overlay_ablation", "run_design_ablation"]
+
+
+def _measure(system, tr, rng, queries: int) -> tuple[float, float]:
+    """(mean single-item hops, keyword recall) for one configuration."""
+    hist = HopHistogram()
+    for _ in range(queries):
+        item = int(rng.integers(0, tr.corpus.n_items))
+        res = system.find(system.random_origin(rng), item)
+        if res.found:
+            hist.add(res.total_hops)
+    kw = nth_popular_keyword(tr.corpus, 2)
+    gt = keyword_ground_truth(tr.corpus, [kw])
+    q = keyword_query(tr, [kw])
+    r = system.retrieve(
+        system.random_origin(rng), q, None, require_all=[kw],
+        use_first_hop=True, patience=32,
+    )
+    recall = r.found / max(gt.total, 1)
+    return (hist.mean if len(hist) else float("nan")), recall
+
+
+def run_overlay_ablation(
+    trace: WorldCupTrace | None = None,
+    *,
+    n_nodes: int = 500,
+    queries: int = 200,
+    seed: int = 606,
+) -> RowSet:
+    """X-CHORD rows: Tornado-style vs Chord under the same workload."""
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "Overlay portability — Tornado-style vs Chord",
+        ("overlay", "mean item hops", "keyword recall"),
+    )
+    with timer(rs):
+        for kind in ("tornado", "chord"):
+            rng = np.random.default_rng(seed)
+            system = build_system(
+                tr, n_nodes, PlacementScheme.UNUSED_HASH_HOT,
+                rng=rng, overlay_kind=kind,
+            )
+            system.publish_corpus(tr.corpus, rng)
+            hops, recall = _measure(system, tr, rng, queries)
+            rs.add(kind, round(hops, 2), round(recall, 4))
+        rs.notes["N"] = n_nodes
+    return rs
+
+
+def run_design_ablation(
+    trace: WorldCupTrace | None = None,
+    *,
+    n_nodes: int = 400,
+    queries: int = 150,
+    seed: int = 707,
+) -> RowSet:
+    """X-ABL rows: one design knob flipped per row, baseline first."""
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "Design ablations",
+        ("variant", "mean item hops", "keyword recall", "messages/query"),
+    )
+
+    variants: list[tuple[str, dict]] = [
+        ("baseline (b=2, leaf=4, angle policy)", {}),
+        ("digit_bits=4 (16-way tree)", {"digit_bits": 4}),
+        ("leaf_set_size=1", {"leaf_set_size": 1}),
+        ("leaf_set_size=16", {"leaf_set_size": 16}),
+        ("cosine replacement", {"replacement_policy": ReplacementPolicy.COSINE,
+                                 "capacity_multiple": 8.0}),
+        ("angle replacement", {"replacement_policy": ReplacementPolicy.ANGLE,
+                                "capacity_multiple": 8.0}),
+        ("directory pointers", {"directory_pointers": True}),
+    ]
+    with timer(rs):
+        for label, overrides in variants:
+            rng = np.random.default_rng(seed)
+            capacity_multiple = overrides.pop("capacity_multiple", None)
+            system = build_system(
+                tr, n_nodes, PlacementScheme.UNUSED_HASH_HOT,
+                rng=rng, capacity_multiple=capacity_multiple, **overrides,
+            )
+            system.publish_corpus(tr.corpus, rng)
+            before = system.network.sink.total
+            hops, recall = _measure(system, tr, rng, queries)
+            spent = system.network.sink.total - before
+            rs.add(label, round(hops, 2), round(recall, 4), round(spent / (queries + 1), 1))
+        rs.notes["N"] = n_nodes
+    return rs
+
+
+def run_firsthop_ablation(
+    trace: WorldCupTrace | None = None,
+    *,
+    n_nodes: int = 400,
+    patience: int = 8,
+    seed: int = 808,
+) -> RowSet:
+    """§3.5.1 isolated: keyword recall with and without first-hop.
+
+    Uses the paper's setting where the optimization matters: a sparse
+    query (far fewer keywords than the ~43 per item, so the query's own
+    angle key is off-band), a selectivity-capped keyword, directory
+    pointers, and a *tight* walk patience — without first-hop the walk
+    starts outside the pointer band and dries up before reaching it.
+    """
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "First-hop optimization ablation (patience=%d)" % patience,
+        ("search mode", "first hop", "keyword rank", "recall", "messages"),
+    )
+    with timer(rs):
+        cap = max(8, min(n_nodes, tr.corpus.n_items // 20))
+        for mode, pointers in (("pointers", True), ("walk", False)):
+            rng = np.random.default_rng(seed)
+            system = build_system(
+                tr, n_nodes, PlacementScheme.UNUSED_HASH_HOT, rng=rng,
+                directory_pointers=pointers,
+            )
+            system.publish_corpus(tr.corpus, rng)
+            for use_fh in (True, False):
+                for rank in (1, 4):
+                    kw = nth_popular_keyword(tr.corpus, rank, max_matches=cap)
+                    gt = keyword_ground_truth(tr.corpus, [kw])
+                    q = keyword_query(tr, [kw])
+                    r = system.retrieve(
+                        system.random_origin(rng), q, None, require_all=[kw],
+                        use_first_hop=use_fh, patience=patience,
+                    )
+                    rs.add(mode, "on" if use_fh else "off", rank,
+                           round(r.found / max(gt.total, 1), 4), r.messages)
+    return rs

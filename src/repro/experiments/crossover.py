@@ -1,0 +1,95 @@
+"""Experiment X-FLOOD: Meteorograph vs unstructured search (footnotes 1–2).
+
+The paper's cost model: an ideal Gnutella-like flood needs N − 1
+messages regardless of k, while Meteorograph needs (1 + k/c)·O(log N);
+Meteorograph wins while k ≪ N·c and the flood wins only for huge k.
+This experiment measures both sides (plus the §1 sub-overlay strawman)
+instead of assuming them, sweeping k for a fixed deployment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import PlacementScheme
+from ..unstructured.gnutella import GnutellaOverlay
+from ..unstructured.suboverlays import SubOverlayDirectory
+from ..workload import WorldCupTrace, keyword_ground_truth, keyword_query, nth_popular_keyword
+from .common import RowSet, build_system, default_trace, timer
+
+__all__ = ["run_crossover"]
+
+
+def run_crossover(
+    trace: WorldCupTrace | None = None,
+    *,
+    n_nodes: int = 500,
+    k_values: tuple[int, ...] = (4, 16, 64, 256),
+    rank: int = 1,
+    seed: int = 313,
+) -> RowSet:
+    """Rows: per k, message cost of Meteorograph (pointer mode), the
+    Gnutella flood (with idealised early stop at k matches), and the
+    sub-overlay pull."""
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "Crossover — messages vs k, Meteorograph vs baselines",
+        (
+            "k",
+            "meteorograph msgs",
+            "gnutella msgs",
+            "gnutella recall@stop",
+            "suboverlay msgs",
+            "N-1 reference",
+        ),
+    )
+    with timer(rs):
+        rng = np.random.default_rng(seed)
+        cap = max(8, min(n_nodes, tr.corpus.n_items // 20))
+        kw = nth_popular_keyword(tr.corpus, rank, max_matches=cap)
+        gt = keyword_ground_truth(tr.corpus, [kw])
+        query = keyword_query(tr, [kw])
+
+        system = build_system(
+            tr,
+            n_nodes,
+            PlacementScheme.UNUSED_HASH_HOT,
+            rng=rng,
+            directory_pointers=True,
+        )
+        system.publish_corpus(tr.corpus, rng)
+
+        gnutella = GnutellaOverlay(n_nodes, rng=rng)
+        baskets = [tr.corpus.vector(i).indices for i in range(tr.corpus.n_items)]
+        gnutella.publish_randomly(list(range(tr.corpus.n_items)), baskets, rng)
+
+        subdir = SubOverlayDirectory(n_nodes, system.space, rng=rng)
+        for i, basket in enumerate(baskets):
+            subdir.publish(i, basket, rng)
+        sub_res = subdir.query([kw])  # cost is k-independent: ships everything
+
+        for k in k_values:
+            k_eff = min(k, gt.total)
+            met = system.retrieve(
+                system.random_origin(rng),
+                query,
+                k_eff,
+                require_all=[kw],
+                use_first_hop=True,
+                patience=max(16, n_nodes // 20),
+            )
+            flood = gnutella.flood(
+                int(rng.integers(0, n_nodes)), [kw], stop_after=k_eff
+            )
+            rs.add(
+                k,
+                met.messages,
+                flood.messages,
+                round(len(flood.found) / max(gt.total, 1), 3),
+                sub_res.messages,
+                n_nodes - 1,
+            )
+        rs.notes["keyword_rank"] = rank
+        rs.notes["ground_truth"] = gt.total
+        rs.notes["suboverlay_transfer_waste"] = sub_res.transfer_waste
+    return rs

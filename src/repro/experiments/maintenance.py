@@ -1,0 +1,51 @@
+"""Experiment X-JOIN (beyond-paper figure, §1/§3.4.2 claims): membership
+maintenance cost.
+
+The paper's self-administration argument rests on joins being cheap:
+a joining node contacts the bootstrap for the naming statistics and
+announces itself in O(log N) messages.  This experiment grows overlays
+through the *protocol* join path (messages charged) and reports the
+per-join cost curve, plus the hot-region namer's rejection overhead.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core import PlacementScheme
+from ..workload import WorldCupTrace
+from .common import RowSet, build_system, default_trace, timer
+
+__all__ = ["run_join_cost"]
+
+
+def run_join_cost(
+    trace: WorldCupTrace | None = None,
+    *,
+    node_counts: tuple[int, ...] = (64, 128, 256, 512, 1024),
+    seed: int = 515,
+) -> RowSet:
+    """Rows: (N, mean join messages over the last N/2 joins, log₄N)."""
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "Join cost vs overlay size",
+        ("N", "mean join msgs (last half)", "naming retries", "log4(N)"),
+    )
+    with timer(rs):
+        for n_nodes in node_counts:
+            rng = np.random.default_rng(seed + n_nodes)
+            # protocol_joins=True charges every join's messages.
+            system = build_system(
+                tr, n_nodes, PlacementScheme.UNUSED_HASH_HOT,
+                rng=rng, protocol_joins=True,
+            )
+            joins = n_nodes - 1
+            rs.add(
+                n_nodes,
+                round(system.join_stats["messages"] / max(joins, 1), 2),
+                system.join_stats["retries"],
+                round(math.log(n_nodes, 4), 2),
+            )
+    return rs

@@ -1,0 +1,74 @@
+"""Experiment X-PROX (beyond-paper): proximity-aware routing latency.
+
+Tornado/Pastry routing tables prefer physically close candidates among
+the nodes that satisfy a prefix constraint.  Hop counts are unchanged
+(the figure-7 metric), but end-to-end *latency stretch* — route path
+latency divided by the direct origin→home latency — improves.  This
+experiment builds the same overlay membership twice, with and without a
+latency map, over a transit-stub-like topology, and measures both
+metrics for the same random lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..overlay.idspace import KeySpace
+from ..overlay.tornado import TornadoOverlay
+from ..sim.network import Network
+from ..sim.topology import TransitStubLike, path_latency
+from .common import RowSet, timer
+
+__all__ = ["run_proximity"]
+
+
+def run_proximity(
+    *,
+    n_nodes: int = 500,
+    queries: int = 400,
+    n_domains: int = 10,
+    seed: int = 4242,
+) -> RowSet:
+    """Rows: (routing mode, mean hops, mean latency stretch)."""
+    rs = RowSet(
+        "Proximity-aware routing — latency stretch",
+        ("routing tables", "mean hops", "mean stretch", "p95 stretch"),
+    )
+    with timer(rs):
+        rng = np.random.default_rng(seed)
+        space = KeySpace()
+        ids: set[int] = set()
+        while len(ids) < n_nodes:
+            ids.add(int(rng.integers(0, space.modulus)))
+        node_ids = sorted(ids)
+        topo = TransitStubLike(n_domains=n_domains)
+        topo.place_random(node_ids, rng)
+
+        lookups = [
+            (
+                node_ids[int(rng.integers(0, n_nodes))],
+                int(rng.integers(0, space.modulus)),
+            )
+            for _ in range(queries)
+        ]
+
+        for label, lmap in (("prefix-first", None), ("proximity-aware", topo)):
+            overlay = TornadoOverlay(space, Network(), latency_map=lmap)
+            for nid in node_ids:
+                overlay.add_node(nid)
+            hops, stretches = [], []
+            for origin, key in lookups:
+                res = overlay.route(origin, key)
+                hops.append(res.hops)
+                direct = topo.latency(origin, res.home)
+                if direct > 1e-9:
+                    stretches.append(path_latency(topo, res.path) / direct)
+            rs.add(
+                label,
+                round(float(np.mean(hops)), 2),
+                round(float(np.mean(stretches)), 2),
+                round(float(np.percentile(stretches, 95)), 2),
+            )
+        rs.notes["N"] = n_nodes
+        rs.notes["topology"] = f"transit-stub, {n_domains} domains"
+    return rs

@@ -1,0 +1,81 @@
+"""Experiment X-QLOAD (beyond-paper figure): query-processing fairness.
+
+§3.4 balances *storage*; this experiment measures the other load axis
+the paper doesn't plot: which nodes do the work of answering searches.
+Directory pointers deliberately concentrate similar items' pointers on
+few nodes — efficient for the querier, but those nodes field a
+disproportionate share of search traffic.  The experiment runs a mixed
+query workload in both search modes and reports the per-node
+visit-count distribution (Gini coefficient and top-1% share), an
+honest look at the design's hotspot trade-off.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..analysis import gini
+from ..core import PlacementScheme
+from ..workload import WorldCupTrace, keyword_query, nth_popular_keyword
+from .common import RowSet, build_system, default_trace, timer
+
+__all__ = ["run_query_load"]
+
+
+def run_query_load(
+    trace: WorldCupTrace | None = None,
+    *,
+    n_nodes: int = 400,
+    keyword_queries: int = 60,
+    item_queries: int = 120,
+    seed: int = 818,
+) -> RowSet:
+    """Rows per search mode: visit-count Gini, top-1% share, total visits."""
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "Query-processing load fairness",
+        ("search mode", "gini", "top-1% share", "visited node-hits"),
+    )
+    with timer(rs):
+        cap = max(8, min(n_nodes, tr.corpus.n_items // 20))
+        for mode, pointers in (("pointers", True), ("walk", False)):
+            rng = np.random.default_rng(seed)
+            system = build_system(
+                tr, n_nodes, PlacementScheme.UNUSED_HASH_HOT, rng=rng,
+                directory_pointers=pointers,
+            )
+            system.publish_corpus(tr.corpus, rng)
+            visits: Counter[int] = Counter()
+
+            for i in range(keyword_queries):
+                kw = nth_popular_keyword(tr.corpus, 1 + i % 8, max_matches=cap)
+                q = keyword_query(tr, [kw])
+                res = system.retrieve(
+                    system.random_origin(rng), q, 32, require_all=[kw],
+                    use_first_hop=True, patience=max(16, n_nodes // 20),
+                )
+                visits.update(res.visited)
+                visits.update(d.node_id for d in res.discoveries)
+            for _ in range(item_queries):
+                item = int(rng.integers(0, tr.corpus.n_items))
+                fr = system.find(system.random_origin(rng), item)
+                if fr.node_id is not None:
+                    visits[fr.node_id] += 1
+
+            per_node = np.zeros(n_nodes)
+            for idx, nid in enumerate(system.overlay.ring):
+                per_node[idx] = visits.get(nid, 0)
+            total = per_node.sum()
+            top = np.sort(per_node)[::-1]
+            top1 = top[: max(1, n_nodes // 100)].sum() / max(total, 1)
+            rs.add(
+                mode,
+                round(gini(per_node), 3),
+                round(float(top1), 3),
+                int(total),
+            )
+        rs.notes["N"] = n_nodes
+        rs.notes["queries"] = keyword_queries + item_queries
+    return rs

@@ -1,0 +1,67 @@
+"""Experiment F7: single-item discovery cost vs overlay size (§4.1, Fig. 7).
+
+Random exact-item queries from random origins, with infinite node
+storage, across the three placement schemes and a sweep of overlay
+sizes.  The paper's claim: all three retrieve a particular item in
+O(log N) hops — load placement does not hurt routing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core import PlacementScheme
+from ..sim.metrics import HopHistogram
+from ..workload import WorldCupTrace
+from .common import RowSet, SCHEME_LABELS, build_system, default_trace, timer
+
+__all__ = ["run_fig7", "DEFAULT_NODE_COUNTS"]
+
+#: The paper sweeps 1,000–10,000 nodes; the bench default is a scaled
+#: sweep with the same spread shape.
+DEFAULT_NODE_COUNTS = (250, 500, 1000, 2000)
+
+
+def run_fig7(
+    trace: WorldCupTrace | None = None,
+    *,
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    schemes: tuple[PlacementScheme, ...] = (
+        PlacementScheme.NONE,
+        PlacementScheme.UNUSED_HASH,
+        PlacementScheme.UNUSED_HASH_HOT,
+    ),
+    queries: int = 400,
+    seed: int = 77,
+) -> RowSet:
+    """Fig. 7 rows: (scheme, N, mean hops, p99 hops, log₄ N reference)."""
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "Figure 7 — single-item search hops vs overlay size",
+        ("scheme", "N", "mean hops", "p99 hops", "log4(N)"),
+    )
+    with timer(rs):
+        for scheme in schemes:
+            for n_nodes in node_counts:
+                rng = np.random.default_rng(seed + n_nodes)
+                system = build_system(tr, n_nodes, scheme, rng=rng)
+                system.publish_corpus(tr.corpus, rng)
+                hist = HopHistogram()
+                for _ in range(queries):
+                    item = int(rng.integers(0, tr.corpus.n_items))
+                    res = system.find(system.random_origin(rng), item)
+                    assert res.found, f"published item {item} not found"
+                    hist.add(res.total_hops)
+                rs.add(
+                    SCHEME_LABELS[scheme],
+                    n_nodes,
+                    round(hist.mean, 2),
+                    hist.quantile(0.99),
+                    round(math.log(n_nodes, 4), 2),
+                )
+        rs.notes["queries_per_cell"] = queries
+        rs.notes["storage"] = "infinite"
+        rs.notes["items"] = tr.corpus.n_items
+    return rs

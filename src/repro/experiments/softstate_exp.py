@@ -1,0 +1,105 @@
+"""Experiment X-SOFT (beyond-paper figure, §3.6 machinery): soft-state
+republish under churn.
+
+Nodes depart continuously and take their stored copies with them; the
+only defences are §3.6 replication and owner republish.  This
+experiment sweeps the republish period and reports end-of-run
+availability together with the republish traffic paid for it — the
+classic soft-state freshness/traffic trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import PlacementScheme
+from ..core.softstate import SoftStateManager
+from ..sim.engine import Simulator
+from ..sim.failures import ChurnProcess
+from ..sim.metrics import MetricSink
+from ..workload import WorldCupTrace
+from .common import RowSet, default_trace, sample_of, timer
+
+__all__ = ["run_softstate"]
+
+
+def run_softstate(
+    trace: WorldCupTrace | None = None,
+    *,
+    n_nodes: int = 300,
+    n_items: int = 400,
+    replicas: int = 2,
+    depart_rate: float = 1.0,
+    horizon: float = 60.0,
+    republish_intervals: tuple[float, ...] = (5.0, 15.0, 1e9),
+    queries: int = 150,
+    seed: int = 909,
+) -> RowSet:
+    """Rows: (republish period, availability at horizon, publish msgs)."""
+    from ..core import Meteorograph, MeteorographConfig
+
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "Soft-state republish under churn",
+        ("republish period", "availability", "publish messages", "orphans"),
+    )
+    with timer(rs):
+        for interval in republish_intervals:
+            rng = np.random.default_rng(seed)
+            sim = Simulator()
+            sample = sample_of(tr.corpus, rng)
+            system = Meteorograph.build(
+                n_nodes,
+                tr.corpus.dim,
+                rng=rng,
+                sample=sample,
+                config=MeteorographConfig(
+                    scheme=PlacementScheme.UNUSED_HASH_HOT,
+                    replication_factor=replicas,
+                ),
+                simulator=sim,
+                sink=MetricSink(),
+            )
+            # Owners are a fixed set of live nodes; each owns a few items.
+            owners = [system.random_origin(rng) for _ in range(50)]
+            scheduled = interval < horizon
+            ttl = interval * 3 if scheduled else horizon * 10
+            mgr = SoftStateManager(
+                system, ttl=ttl, republish_interval=min(interval, ttl / 2)
+            )
+            item_ids = rng.choice(tr.corpus.n_items, size=n_items, replace=False)
+            for item_id in item_ids:
+                v = tr.corpus.vector(int(item_id))
+                mgr.publish(owners[int(item_id) % len(owners)], int(item_id), v.indices, v.values)
+            if scheduled:
+                mgr.schedule()
+            churn = ChurnProcess(
+                sim, system.network, rng, depart_rate=depart_rate,
+                on_depart=lambda _v: system.overlay.stabilize(),
+            )
+            churn.start()
+            sim.run(until=horizon)
+            churn.stop()
+            ok = 0
+            asked = 0
+            live_records = set(mgr.records)
+            for item_id in item_ids:
+                if asked >= queries:
+                    break
+                if int(item_id) not in live_records:
+                    continue
+                asked += 1
+                origin = system.random_origin(rng)
+                if system.find(origin, int(item_id), max_walk=replicas * 4).found:
+                    ok += 1
+            label = "off" if not scheduled else f"{interval:g}"
+            rs.add(
+                label,
+                round(ok / max(asked, 1), 3),
+                system.network.sink.count("publish"),
+                mgr.orphaned_items(),
+            )
+        rs.notes["replicas"] = replicas
+        rs.notes["horizon"] = horizon
+        rs.notes["depart_rate"] = depart_rate
+    return rs

@@ -1,0 +1,63 @@
+"""Experiments T1 and F6: trace statistics and basket-size profile.
+
+Table 1 lists the workload's summary statistics; Figure 6 plots the
+number of objects accessed per client in decreasing order.  Both are
+properties of the (synthetic) trace itself; the shape targets are the
+paper's numbers scaled by the configured trace size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workload import WorldCupTrace, basket_size_profile, trace_statistics
+from ..workload.worldcup import PAPER_SCALE
+from .common import RowSet, default_trace, timer
+
+__all__ = ["run_table1", "run_fig6"]
+
+
+def run_table1(trace: WorldCupTrace | None = None) -> RowSet:
+    """Table 1: workload statistics, with the paper's values alongside."""
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "Table 1 — workload statistics",
+        ("statistic", "measured", "paper (full scale)"),
+    )
+    with timer(rs):
+        stats = trace_statistics(tr.corpus)
+        scale = PAPER_SCALE["n_items"] / stats.n_items
+        rs.add("Number of clients (items)", f"{stats.n_items:,}", f"{PAPER_SCALE['n_items']:,}")
+        rs.add(
+            "Number of Web objects (keywords)",
+            f"{stats.n_keywords_used:,}",
+            f"{PAPER_SCALE['n_keywords']:,}",
+        )
+        rs.add(
+            "Average objects per client",
+            f"{stats.mean_basket:.1f}",
+            f"{PAPER_SCALE['mean_basket']}",
+        )
+        rs.add("Maximum objects per client", f"{stats.max_basket:,}", f"{PAPER_SCALE['max_basket']:,}")
+        rs.add("Minimum objects per client", f"{stats.min_basket}", f"{PAPER_SCALE['min_basket']}")
+        rs.notes["scale_vs_paper"] = f"1/{scale:.1f}"
+    return rs
+
+
+def run_fig6(trace: WorldCupTrace | None = None, points: int = 20) -> RowSet:
+    """Fig. 6: basket sizes in decreasing order, decimated to ``points`` rows."""
+    tr = trace if trace is not None else default_trace()
+    rs = RowSet(
+        "Figure 6 — objects accessed per client (decreasing)",
+        ("client rank", "objects accessed"),
+    )
+    with timer(rs):
+        profile = basket_size_profile(tr.corpus)
+        idx = np.unique(
+            np.geomspace(1, profile.size, num=points).round().astype(np.int64) - 1
+        )
+        for i in idx:
+            rs.add(int(i + 1), int(profile[i]))
+        rs.notes["n_items"] = profile.size
+        rs.notes["heavy_tail_ratio"] = round(float(profile[0] / max(1.0, np.median(profile))), 1)
+    return rs

@@ -1,0 +1,193 @@
+"""Chord overlay (Stoica et al., SIGCOMM 2001).
+
+Included to substantiate the paper's §6 claim that Meteorograph ports
+to any structured overlay with a single-dimensional hash space: the
+entire :mod:`repro.core` stack runs unmodified on this overlay (see the
+``X-CHORD`` experiment in DESIGN.md).
+
+Chord maps a key to its **successor** (first node clockwise at or after
+the key) rather than to the numerically closest node; routing walks
+closest-preceding fingers.  Fingers are materialised lazily from the
+membership view, mirroring the Tornado implementation's stale-table
+semantics, and a successor list provides failover.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..sim.network import Network
+from .base import Overlay, RouteResult, RoutingError
+from .idspace import KeySpace, SortedKeyRing
+
+__all__ = ["ChordOverlay"]
+
+_MAX_ROUTE_HOPS = 512
+
+
+class ChordOverlay(Overlay):
+    """Chord ring with lazy finger tables and successor lists.
+
+    Parameters
+    ----------
+    successor_list_size:
+        Number of clockwise successors each node tracks; this is both
+        the failover margin and the local neighbor knowledge used by
+        greedy final-approach forwarding.
+    """
+
+    def __init__(
+        self,
+        space: KeySpace,
+        network: Network,
+        *,
+        successor_list_size: int = 8,
+    ) -> None:
+        super().__init__(space, network)
+        if successor_list_size < 1:
+            raise ValueError(
+                f"successor_list_size must be >= 1, got {successor_list_size}"
+            )
+        self.successor_list_size = successor_list_size
+        self.num_fingers = (space.modulus - 1).bit_length()
+        self._fingers: dict[int, list[Optional[int]]] = {}
+        self._view: SortedKeyRing = self.ring
+
+    # -- membership hooks --------------------------------------------------
+
+    def _on_membership_change(self) -> None:
+        self._fingers.clear()
+        self._view = self.ring
+
+    def stabilize(self) -> None:
+        """Rebuild fingers/successors over live nodes only."""
+        self._view = SortedKeyRing(
+            self.space, (nid for nid in self.ring if self.network.is_alive(nid))
+        )
+        self._fingers.clear()
+
+    # -- routing state ---------------------------------------------------------
+
+    def fingers(self, node_id: int) -> list[Optional[int]]:
+        """finger[i] = successor(node_id + 2**i); None for empty view."""
+        cached = self._fingers.get(node_id)
+        if cached is not None:
+            return cached
+        table: list[Optional[int]] = []
+        if len(self._view) == 0:
+            table = [None] * self.num_fingers
+        else:
+            for i in range(self.num_fingers):
+                start = self.space.wrap(node_id + (1 << i))
+                table.append(self._view.successor(start))
+        self._fingers[node_id] = table
+        return table
+
+    def successor_list(self, node_id: int) -> list[int]:
+        """Up to ``successor_list_size`` distinct clockwise successors."""
+        out: list[int] = []
+        if len(self._view) <= 1:
+            return out
+        cur = node_id
+        for _ in range(self.successor_list_size):
+            cur = self._view.successor(self.space.wrap(cur + 1))
+            if cur == node_id or cur in out:
+                break
+            out.append(cur)
+        return out
+
+    # -- key→node ----------------------------------------------------------------
+
+    def home(self, key: int) -> int:
+        """Chord semantics: the key's successor on the full ring."""
+        self.space.validate(key)
+        return self.ring.successor(key)
+
+    def _homes_by_preference(self, key: int) -> Iterator[int]:
+        """Successor chain: Chord's natural failover order."""
+        if len(self.ring) == 0:
+            return
+        first = self.ring.successor(key)
+        yield first
+        cur = first
+        for _ in range(len(self.ring) - 1):
+            cur = self.ring.successor(self.space.wrap(cur + 1))
+            if cur == first:
+                break
+            yield cur
+
+    # -- routing -------------------------------------------------------------------
+
+    def route(
+        self,
+        origin: int,
+        key: int,
+        *,
+        kind: str = "route",
+        max_hops: Optional[int] = None,
+    ) -> RouteResult:
+        self.space.validate(key)
+        if origin not in self.network:
+            raise KeyError(f"origin {origin} not in overlay")
+        if not self.network.is_alive(origin):
+            raise RoutingError(f"origin {origin} is dead")
+        budget = _MAX_ROUTE_HOPS if max_hops is None else max_hops
+        result = RouteResult(origin=origin, key=key, home=None, path=[origin])
+        current = origin
+        while True:
+            nxt = self._next_hop(current, key)
+            if nxt is None:
+                break
+            if result.hops >= budget:
+                result.succeeded = False
+                result.home = current
+                return result
+            self.network.send(current, nxt, kind)
+            result.path.append(nxt)
+            current = nxt
+        result.home = current
+        live_best = self.live_home(key)
+        result.succeeded = live_best is not None and current == live_best
+        return result
+
+    def _live_predecessor(self, node_id: int, max_scan: int = 64) -> Optional[int]:
+        """Nearest live counter-clockwise node, scanning past dead ones."""
+        if len(self._view) <= 1:
+            return None
+        cur = node_id
+        for _ in range(min(max_scan, len(self._view))):
+            cur = self._view.predecessor(cur)
+            if cur == node_id:
+                return None
+            if self.network.is_alive(cur):
+                return cur
+        return None
+
+    def _next_hop(self, current: int, key: int) -> Optional[int]:
+        """One Chord forwarding decision; None when ``current`` owns ``key``.
+
+        Order of preference: stop if the key falls in (live predecessor,
+        current]; else final-approach through the successor list; else
+        the closest live preceding finger in (current, key]; else the
+        nearest live successor, just to make progress around failures.
+        """
+        pred = self._live_predecessor(current)
+        if pred is None:
+            # Only live node we can see: we own everything reachable.
+            return None
+        if self.space.in_half_open(key, pred, current):
+            return None  # current owns the key
+        succs = [s for s in self.successor_list(current) if self.network.is_alive(s)]
+        for s in succs:
+            if self.space.in_half_open(key, current, s):
+                return s
+        for f in reversed(self.fingers(current)):
+            if f is None or f == current or not self.network.is_alive(f):
+                continue
+            if self.space.in_half_open(f, current, key):
+                return f
+        return succs[0] if succs else None
+
+    # Chord has no symmetric "numerically closest" walk of its own, but the
+    # base-class linear ordering over the ring applies unchanged, so
+    # Meteorograph's neighbor walk works without overrides.

@@ -1,0 +1,155 @@
+"""Prefix routing tables (the Tornado/Pastry m-way-tree mechanism).
+
+A node's table has one row per key digit: row ``r`` holds, for every
+digit value ``d``, some node whose ID shares the first ``r`` digits with
+the owner and whose next digit is ``d``.  Forwarding a key to the row-
+``r`` entry for the key's digit extends the shared prefix by one digit,
+which shrinks the remaining numeric distance by a factor of ``2**b``
+per hop — the O(log N) bound the paper leans on.
+
+Rows are materialised lazily from the (possibly stale) membership ring
+and memoised; :meth:`PrefixRoutingTable.invalidate` drops the memo when
+membership changes or the overlay stabilizes.  Laziness matters at
+simulator scale: a full table build is O(N · rows · 2^b) binary
+searches, while queries only ever touch the rows on their paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .idspace import KeySpace, SortedKeyRing
+
+__all__ = ["DigitCodec", "PrefixRoutingTable"]
+
+#: Chooses a table entry among a block's candidate node ids (for the
+#: owner given first).  Default: the first candidate in key order;
+#: proximity-aware overlays plug in a latency-nearest selector.
+EntrySelector = Callable[[int, list[int]], Optional[int]]
+
+
+class DigitCodec:
+    """Fixed-width base-``2**digit_bits`` digit view of keys."""
+
+    def __init__(self, space: KeySpace, digit_bits: int) -> None:
+        if digit_bits < 1:
+            raise ValueError(f"digit_bits must be >= 1, got {digit_bits}")
+        self.space = space
+        self.digit_bits = digit_bits
+        self.radix = 1 << digit_bits
+        nbits = (space.modulus - 1).bit_length()
+        self.num_digits = -(-nbits // digit_bits)  # ceil division
+        self.key_bits = self.num_digits * digit_bits
+
+    def digit(self, key: int, row: int) -> int:
+        """The ``row``-th most significant digit of ``key``."""
+        if not 0 <= row < self.num_digits:
+            raise IndexError(f"row {row} out of range [0,{self.num_digits})")
+        shift = (self.num_digits - 1 - row) * self.digit_bits
+        return (key >> shift) & (self.radix - 1)
+
+    def shared_prefix_len(self, a: int, b: int) -> int:
+        """Number of leading digits ``a`` and ``b`` share."""
+        for row in range(self.num_digits):
+            if self.digit(a, row) != self.digit(b, row):
+                return row
+        return self.num_digits
+
+    def prefix_interval(self, key: int, prefix_len: int, digit: int) -> tuple[int, int]:
+        """Half-open key interval of IDs sharing ``key``'s first
+        ``prefix_len`` digits and having ``digit`` next.
+
+        The interval never wraps: prefixes partition ``[0, 2^key_bits)``
+        into aligned blocks.
+        """
+        if not 0 <= prefix_len < self.num_digits:
+            raise IndexError(f"prefix_len {prefix_len} out of range")
+        if not 0 <= digit < self.radix:
+            raise ValueError(f"digit {digit} out of range [0,{self.radix})")
+        block_shift = (self.num_digits - 1 - prefix_len) * self.digit_bits
+        prefix_mask = ~((1 << (block_shift + self.digit_bits)) - 1)
+        lo = (key & prefix_mask) | (digit << block_shift)
+        hi = lo + (1 << block_shift)
+        return lo, hi
+
+
+class PrefixRoutingTable:
+    """Lazy per-node routing table over a membership ring.
+
+    The entry for (row, digit) is the *first node in key order* inside
+    the digit's key block — deterministic, so two runs with the same
+    seed route identically.  Entries may reference dead nodes; liveness
+    is the forwarding loop's concern (stale-table semantics, needed for
+    the §4.3 failure study).
+    """
+
+    #: Candidates enumerated per block when a selector is installed —
+    #: Pastry-style "pick the proximally best of a few", not a scan.
+    CANDIDATE_LIMIT = 8
+
+    def __init__(
+        self,
+        owner_id: int,
+        codec: DigitCodec,
+        ring: SortedKeyRing,
+        selector: Optional[EntrySelector] = None,
+    ) -> None:
+        self.owner_id = owner_id
+        self.codec = codec
+        self._ring = ring
+        self._selector = selector
+        self._rows: dict[int, list[Optional[int]]] = {}
+
+    def rebind(self, ring: SortedKeyRing) -> None:
+        """Point the table at a different membership view and forget memos."""
+        self._ring = ring
+        self._rows.clear()
+
+    def invalidate(self) -> None:
+        self._rows.clear()
+
+    def row(self, r: int) -> list[Optional[int]]:
+        """Materialise (or fetch memoised) row ``r``."""
+        cached = self._rows.get(r)
+        if cached is not None:
+            return cached
+        entries: list[Optional[int]] = []
+        for d in range(self.codec.radix):
+            lo, hi = self.codec.prefix_interval(self.owner_id, r, d)
+            if self._ring.range_count(lo, hi) == 0:
+                entries.append(None)
+            elif self._selector is None:
+                entries.append(self._ring.successor(lo))
+            else:
+                cands = self._ring.range_keys(lo, hi, limit=self.CANDIDATE_LIMIT)
+                entries.append(self._selector(self.owner_id, cands))
+        self._rows[r] = entries
+        return entries
+
+    def entry(self, r: int, digit: int) -> Optional[int]:
+        return self.row(r)[digit]
+
+    def next_hop_candidates(self, key: int) -> list[int]:
+        """Routing-table candidates for forwarding toward ``key``.
+
+        The primary candidate is the entry extending the shared prefix
+        by the key's next digit; the rest of that row is included as
+        fallback so routing can detour around dead primaries.
+        """
+        r = self.codec.shared_prefix_len(self.owner_id, key)
+        if r >= self.codec.num_digits:
+            return []  # owner's id equals the key: nowhere better to go
+        row = self.row(r)
+        want = self.codec.digit(key, r)
+        primary = row[want]
+        out: list[int] = []
+        if primary is not None and primary != self.owner_id:
+            out.append(primary)
+        for d, nid in enumerate(row):
+            if d != want and nid is not None and nid != self.owner_id:
+                out.append(nid)
+        return out
+
+    def populated_rows(self) -> int:
+        """How many rows have been materialised (introspection/tests)."""
+        return len(self._rows)

@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate: engine, nodes, network, metrics, churn."""
+
+from .engine import Simulator, ScheduledEvent, CancelledError
+from .metrics import MetricSink, QueryTrace, HopHistogram, percentile_summary
+from .node import PeerNode, StoredItem, DirectoryPointer, CapacityError
+from .network import Network, DeadNodeError
+from .failures import fail_fraction, ChurnProcess, ChurnStats
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "CancelledError",
+    "MetricSink",
+    "QueryTrace",
+    "HopHistogram",
+    "percentile_summary",
+    "PeerNode",
+    "StoredItem",
+    "DirectoryPointer",
+    "CapacityError",
+    "Network",
+    "DeadNodeError",
+    "fail_fraction",
+    "ChurnProcess",
+    "ChurnStats",
+]

@@ -1,0 +1,128 @@
+"""Failure and churn injection (§4.3).
+
+The paper's reliability experiment kills a fraction of the nodes at
+once and measures query availability.  :func:`fail_fraction` implements
+that batch model; :class:`ChurnProcess` additionally drives continuous
+Poisson departures/arrivals through the event engine for the extended
+(beyond-paper) churn ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .engine import Simulator
+from .network import Network
+
+__all__ = ["fail_fraction", "ChurnProcess", "ChurnStats"]
+
+
+def fail_fraction(
+    network: Network,
+    fraction: float,
+    rng: np.random.Generator,
+    *,
+    spare: Optional[set[int]] = None,
+) -> list[int]:
+    """Fail a uniform-random ``fraction`` of the currently alive nodes.
+
+    ``spare`` lists node ids that must survive (e.g. the querying node /
+    bootstrap).  Returns the failed ids.  The failed count is
+    ``round(fraction * alive)`` computed before sparing, so the realized
+    fraction matches the requested one as closely as the spare set allows.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0,1], got {fraction}")
+    alive = [nid for nid in network.alive_ids()]
+    n_fail = int(round(fraction * len(alive)))
+    candidates = [nid for nid in alive if spare is None or nid not in spare]
+    n_fail = min(n_fail, len(candidates))
+    if n_fail == 0:
+        return []
+    chosen = rng.choice(len(candidates), size=n_fail, replace=False)
+    failed = [candidates[i] for i in chosen]
+    network.fail_nodes(failed)
+    return failed
+
+
+@dataclass
+class ChurnStats:
+    departures: int = 0
+    arrivals: int = 0
+
+
+class ChurnProcess:
+    """Poisson churn: exponential inter-departure and inter-arrival times.
+
+    ``on_depart(node_id)`` / ``on_arrive()`` hooks let the overlay layer
+    react (remove from routing state / run the §3.4.2 join protocol).
+    Rates are events per time unit; a rate of 0 disables that direction.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        rng: np.random.Generator,
+        *,
+        depart_rate: float = 0.0,
+        arrive_rate: float = 0.0,
+        on_depart: Optional[Callable[[int], None]] = None,
+        on_arrive: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if depart_rate < 0 or arrive_rate < 0:
+            raise ValueError("rates must be >= 0")
+        self.simulator = simulator
+        self.network = network
+        self.rng = rng
+        self.depart_rate = depart_rate
+        self.arrive_rate = arrive_rate
+        self.on_depart = on_depart
+        self.on_arrive = on_arrive
+        self.stats = ChurnStats()
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("churn process already running")
+        self._running = True
+        if self.depart_rate > 0:
+            self._schedule_departure()
+        if self.arrive_rate > 0:
+            self._schedule_arrival()
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- internals ---------------------------------------------------------
+
+    def _schedule_departure(self) -> None:
+        delay = float(self.rng.exponential(1.0 / self.depart_rate))
+        self.simulator.schedule(delay, self._depart)
+
+    def _schedule_arrival(self) -> None:
+        delay = float(self.rng.exponential(1.0 / self.arrive_rate))
+        self.simulator.schedule(delay, self._arrive)
+
+    def _depart(self) -> None:
+        if not self._running:
+            return
+        alive = list(self.network.alive_ids())
+        if alive:
+            victim = alive[int(self.rng.integers(0, len(alive)))]
+            self.network.node(victim).fail()
+            self.stats.departures += 1
+            if self.on_depart is not None:
+                self.on_depart(victim)
+        self._schedule_departure()
+
+    def _arrive(self) -> None:
+        if not self._running:
+            return
+        self.stats.arrivals += 1
+        if self.on_arrive is not None:
+            self.on_arrive()
+        self._schedule_arrival()

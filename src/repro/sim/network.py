@@ -1,0 +1,156 @@
+"""Simulated message fabric.
+
+Every transmission in the system — routing forwards, displacement
+pushes, pointer fetches, replies, floods — passes through one
+:class:`Network`, which is the single authority on (a) which nodes are
+alive and (b) the message bill.  Experiments snapshot/diff the attached
+:class:`~repro.sim.metrics.MetricSink` to attribute message costs to
+individual queries.
+
+Delivery is count-based, matching the paper's evaluation: a ``send``
+charges one message and either succeeds (destination alive) or fails.
+Latency-based delivery through the event engine is available via
+:meth:`Network.send_after` for the time-driven machinery (replica
+monitoring, churn).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from .engine import Simulator
+from .metrics import MetricSink
+from .node import PeerNode
+
+__all__ = ["Network", "DeadNodeError"]
+
+
+class DeadNodeError(RuntimeError):
+    """Raised when a synchronous send targets a failed node."""
+
+
+class Network:
+    """Registry of peers plus message accounting.
+
+    Parameters
+    ----------
+    sink:
+        Metric sink to charge; a fresh one is created when omitted.
+    simulator:
+        Optional event engine for latency-based delivery.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[MetricSink] = None,
+        simulator: Optional[Simulator] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else MetricSink()
+        self.simulator = simulator
+        self._nodes: dict[int, PeerNode] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def add_node(self, node: PeerNode) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"node id {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def remove_node(self, node_id: int) -> PeerNode:
+        try:
+            return self._nodes.pop(node_id)
+        except KeyError:
+            raise KeyError(f"no node with id {node_id}") from None
+
+    def node(self, node_id: int) -> PeerNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node with id {node_id}") from None
+
+    def nodes(self) -> Iterator[PeerNode]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[int]:
+        return iter(self._nodes.keys())
+
+    def alive_ids(self) -> Iterator[int]:
+        return (nid for nid, n in self._nodes.items() if n.alive)
+
+    def is_alive(self, node_id: int) -> bool:
+        node = self._nodes.get(node_id)
+        return node is not None and node.alive
+
+    def alive_count(self) -> int:
+        return sum(1 for n in self._nodes.values() if n.alive)
+
+    # -- message delivery ----------------------------------------------------
+
+    def send(self, src: int, dst: int, kind: str = "route") -> PeerNode:
+        """Charge one ``kind`` message from ``src`` to ``dst``.
+
+        Returns the destination node.  The message is charged even when
+        delivery fails (the sender spent the transmission either way),
+        then :class:`DeadNodeError` is raised.
+        """
+        self.sink.charge(kind)
+        node = self._nodes.get(dst)
+        if node is None or not node.alive:
+            raise DeadNodeError(f"destination {dst} is not alive (from {src})")
+        return node
+
+    def try_send(self, src: int, dst: int, kind: str = "route") -> Optional[PeerNode]:
+        """Like :meth:`send` but returns ``None`` instead of raising."""
+        try:
+            return self.send(src, dst, kind)
+        except DeadNodeError:
+            return None
+
+    def send_after(
+        self,
+        delay: float,
+        src: int,
+        dst: int,
+        handler: Callable[[PeerNode], None],
+        kind: str = "route",
+    ) -> None:
+        """Deliver asynchronously via the event engine.
+
+        The message is charged at send time; ``handler`` runs at delivery
+        time only if the destination is then alive (silent drop models a
+        node that failed in flight).
+        """
+        if self.simulator is None:
+            raise RuntimeError("Network has no simulator attached")
+        self.sink.charge(kind)
+
+        def _deliver() -> None:
+            node = self._nodes.get(dst)
+            if node is not None and node.alive:
+                handler(node)
+
+        self.simulator.schedule(delay, _deliver)
+
+    # -- bulk helpers ----------------------------------------------------------
+
+    def fail_nodes(self, node_ids: Iterable[int]) -> int:
+        """Mark nodes dead; returns how many transitions actually happened."""
+        flipped = 0
+        for nid in node_ids:
+            node = self._nodes.get(nid)
+            if node is not None and node.alive:
+                node.fail()
+                flipped += 1
+        return flipped
+
+    def total_items(self, include_dead: bool = False) -> int:
+        """Total item bodies stored across (alive) nodes."""
+        return sum(
+            len(n) for n in self._nodes.values() if include_dead or n.alive
+        )

@@ -1,0 +1,175 @@
+"""Simulated peer node: identity, liveness, and bounded item storage.
+
+A :class:`PeerNode` is deliberately policy-free — it stores items and
+directory pointers and enforces its capacity ``c``, while *which* item
+to displace on overflow (the paper's least-similar replacement, Fig. 2)
+is decided by :mod:`repro.core.publish`, which owns the Meteorograph
+semantics.  This keeps the node reusable under every scheme the
+evaluation compares (None / UnusedHash / +HotRegions / directory
+pointers / replication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["StoredItem", "DirectoryPointer", "PeerNode", "CapacityError"]
+
+
+class CapacityError(RuntimeError):
+    """Raised when adding to a full node without displacing anything."""
+
+
+@dataclass(frozen=True)
+class StoredItem:
+    """One published item as held by a node.
+
+    ``item_id`` is the corpus row.  ``publish_key`` is the key the item
+    was routed with (Eq. 5 angle key, or Eq. 6 balanced key when the
+    unused-hash-space scheme is on).  ``angle_key`` is always the raw
+    Eq. 5 key — replacement ranking and the similarity walk reason in
+    angle space regardless of where the body physically lives.  The
+    keyword vector travels with the item so nodes can run a local VSM
+    index (Fig. 2: "adopt VSM or LSI for local indexing").
+    """
+
+    item_id: int
+    publish_key: int
+    angle_key: int
+    keyword_ids: np.ndarray
+    weights: np.ndarray
+    payload: object = None
+    replica_of: Optional[int] = None  # primary node id when this is a replica
+
+    def __post_init__(self) -> None:
+        if len(self.keyword_ids) != len(self.weights):
+            raise ValueError("keyword_ids and weights must have equal length")
+
+    @property
+    def is_replica(self) -> bool:
+        return self.replica_of is not None
+
+
+@dataclass(frozen=True)
+class DirectoryPointer:
+    """§3.5.2 directory pointer: keywords + where the item body lives.
+
+    Published at the item's Eq. 5 angle key, pointing at its Eq. 6
+    balanced key, so pointers aggregate by similarity while bodies
+    spread uniformly.
+    """
+
+    item_id: int
+    angle_key: int
+    body_key: int
+    keyword_ids: np.ndarray
+
+
+class PeerNode:
+    """A peer with bounded item storage.
+
+    Parameters
+    ----------
+    node_id:
+        The node's key in the overlay ID space.
+    capacity:
+        Maximum number of item bodies stored; ``None`` means unbounded
+        (the paper's Figure 7/8 "infinite storage" configuration).
+        Directory pointers do not count against capacity — the paper
+        argues they are "quite small in size".
+    """
+
+    def __init__(self, node_id: int, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.node_id = node_id
+        self.capacity = capacity
+        self.alive = True
+        self._items: dict[int, StoredItem] = {}
+        self._pointers: dict[int, DirectoryPointer] = {}
+
+    # -- storage ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def free_slots(self) -> Optional[int]:
+        if self.capacity is None:
+            return None
+        return self.capacity - len(self._items)
+
+    def utilization(self, c_ideal: float) -> float:
+        """Load as a multiple of the ideal per-node load ``c`` (Fig. 8 x-axis)."""
+        if c_ideal <= 0:
+            raise ValueError(f"c_ideal must be > 0, got {c_ideal}")
+        return len(self._items) / c_ideal
+
+    def has_item(self, item_id: int) -> bool:
+        return item_id in self._items
+
+    def get_item(self, item_id: int) -> StoredItem:
+        return self._items[item_id]
+
+    def items(self) -> Iterator[StoredItem]:
+        return iter(self._items.values())
+
+    def item_ids(self) -> Iterator[int]:
+        return iter(self._items.keys())
+
+    def store(self, item: StoredItem) -> None:
+        """Store an item; refuses when full (caller must displace first).
+
+        Re-storing an item id the node already holds (a republish) is
+        always allowed and replaces the old copy in place.
+        """
+        if item.item_id not in self._items and self.is_full:
+            raise CapacityError(
+                f"node {self.node_id} full ({self.capacity}); displace before storing"
+            )
+        self._items[item.item_id] = item
+
+    def evict(self, item_id: int) -> StoredItem:
+        """Remove and return an item."""
+        try:
+            return self._items.pop(item_id)
+        except KeyError:
+            raise KeyError(f"node {self.node_id} does not hold item {item_id}") from None
+
+    # -- directory pointers (§3.5.2) --------------------------------------
+
+    def add_pointer(self, pointer: DirectoryPointer) -> None:
+        self._pointers[pointer.item_id] = pointer
+
+    def pointers(self) -> Iterator[DirectoryPointer]:
+        return iter(self._pointers.values())
+
+    def pointer_count(self) -> int:
+        return len(self._pointers)
+
+    def drop_pointer(self, item_id: int) -> bool:
+        return self._pointers.pop(item_id, None) is not None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def fail(self) -> None:
+        """Mark the node dead.  Its stored state becomes unreachable but is
+        kept so that a later :meth:`recover` models a rejoin with data."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return (
+            f"PeerNode(id={self.node_id}, items={len(self._items)}, "
+            f"cap={cap}, alive={self.alive})"
+        )

@@ -1,0 +1,14 @@
+"""Unstructured-search baselines: Gnutella flooding, Freenet DFS, sub-overlays."""
+
+from .gnutella import GnutellaOverlay, FloodResult
+from .freenet import FreenetOverlay, DfsResult
+from .suboverlays import SubOverlayDirectory, SubOverlayQueryResult
+
+__all__ = [
+    "GnutellaOverlay",
+    "FloodResult",
+    "FreenetOverlay",
+    "DfsResult",
+    "SubOverlayDirectory",
+    "SubOverlayQueryResult",
+]

@@ -1,0 +1,152 @@
+"""Freenet-style depth-first key search (§1).
+
+Freenet routes a query depth-first: each node forwards to the neighbor
+whose *specialization* (the key it is best known for) is closest to the
+requested key, backtracking on dead ends, bounded by a TTL.  Found
+items are cached along the return path, which is what slowly
+specialises the network.
+
+Included as the second unstructured baseline: it shows the
+depth-first/TTL failure mode the paper contrasts with structured
+routing — a bounded, non-deterministic search whose cost is
+unpredictable — in measurable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from ..overlay.idspace import KeySpace
+from ..sim.metrics import MetricSink
+
+__all__ = ["FreenetOverlay", "DfsResult"]
+
+
+@dataclass
+class DfsResult:
+    origin: int
+    key: int
+    found: bool
+    messages: int
+    depth_reached: int
+    holder: Optional[int] = None
+    path: list[int] = field(default_factory=list)
+
+
+class FreenetOverlay:
+    """Random-graph overlay with key-closeness DFS routing and caching."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        space: KeySpace,
+        *,
+        degree: int = 4,
+        cache_size: int = 64,
+        rng: np.random.Generator,
+        sink: Optional[MetricSink] = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError(f"need >= 2 nodes, got {n_nodes}")
+        if (n_nodes * degree) % 2:
+            degree += 1
+        self.space = space
+        self.cache_size = cache_size
+        seed = int(rng.integers(0, 2**31 - 1))
+        self.graph = nx.random_regular_graph(degree, n_nodes, seed=seed)
+        self.sink = sink if sink is not None else MetricSink()
+        #: Each node's specialization key — initially random, drifts
+        #: toward the keys it successfully serves.
+        self.specialization: dict[int, int] = {
+            i: space.random_key(rng) for i in range(n_nodes)
+        }
+        # node -> key -> item_id (data store + LRU-ish cache in one map)
+        self._stores: dict[int, dict[int, int]] = {i: {} for i in range(n_nodes)}
+        self._insert_order: dict[int, list[int]] = {i: [] for i in range(n_nodes)}
+
+    # -- storage ----------------------------------------------------------
+
+    def store(self, node: int, key: int, item_id: int) -> None:
+        """Place an item at a node, evicting oldest beyond the cache size."""
+        store = self._stores[node]
+        order = self._insert_order[node]
+        if key not in store:
+            order.append(key)
+        store[key] = item_id
+        while len(order) > self.cache_size:
+            evict = order.pop(0)
+            store.pop(evict, None)
+
+    def has_key(self, node: int, key: int) -> bool:
+        return key in self._stores[node]
+
+    # -- search --------------------------------------------------------------
+
+    def search(
+        self,
+        origin: int,
+        key: int,
+        *,
+        ttl: int = 32,
+        cache_on_return: bool = True,
+    ) -> DfsResult:
+        """Depth-first search for ``key`` with backtracking and TTL.
+
+        Each forward or backtrack traversal is one message.  On success
+        with ``cache_on_return`` the item is cached at every node on the
+        success path and their specializations drift toward the key —
+        Freenet's learning mechanism.
+        """
+        if ttl < 1:
+            raise ValueError(f"ttl must be >= 1, got {ttl}")
+        result = DfsResult(origin=origin, key=key, found=False, messages=0, depth_reached=0)
+        visited: set[int] = set()
+        path: list[int] = []
+
+        def dfs(node: int, budget: int, depth: int) -> bool:
+            visited.add(node)
+            path.append(node)
+            result.depth_reached = max(result.depth_reached, depth)
+            if self.has_key(node, key):
+                result.found = True
+                result.holder = node
+                return True
+            if budget <= 0:
+                path.pop()
+                return False
+            neighbors = sorted(
+                (nb for nb in self.graph.neighbors(node) if nb not in visited),
+                key=lambda nb: (
+                    self.space.ring_distance(self.specialization[nb], key),
+                    nb,
+                ),
+            )
+            for nb in neighbors:
+                result.messages += 1
+                self.sink.charge("dfs")
+                if dfs(nb, budget - 1, depth + 1):
+                    return True
+                # Backtrack message.
+                result.messages += 1
+                self.sink.charge("dfs")
+            path.pop()
+            return False
+
+        dfs(origin, ttl, 0)
+        result.path = list(path)
+        if result.found and cache_on_return:
+            item_id = self._stores[result.holder][key]
+            for node in path[:-1]:
+                self.store(node, key, item_id)
+                # Specialization drifts halfway toward the served key
+                # along the *shortest* arc (a clockwise midpoint could
+                # move it away when the key sits counter-clockwise).
+                spec = self.specialization[node]
+                half = self.space.modulus // 2
+                delta = ((key - spec + half) % self.space.modulus) - half
+                self.specialization[node] = self.space.wrap(spec + delta // 2)
+        return result

@@ -1,0 +1,163 @@
+"""Gnutella-style unstructured overlay with BFS flooding (§1, footnote 1).
+
+The paper's message-cost comparison assumes a Gnutella-like flood costs
+``N − 1`` messages without TTL; this module measures that rather than
+assuming it, and exhibits the three §1/§5 failure modes of unstructured
+search — unbounded traffic, TTL-limited scope (missed items that do
+exist), and non-deterministic results across issuers — that the
+crossover experiment (X-FLOOD in DESIGN.md) quantifies against
+Meteorograph.
+
+Topology is a seeded random regular graph; items live wherever their
+publisher put them (no placement structure, by definition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..sim.metrics import MetricSink
+from ..vsm.sparse import SparseVector
+
+__all__ = ["GnutellaOverlay", "FloodResult"]
+
+
+@dataclass
+class FloodResult:
+    """Outcome of one flood search."""
+
+    origin: int
+    ttl: Optional[int]
+    messages: int
+    nodes_reached: int
+    #: (item id, hosting node) pairs, in discovery (BFS) order.
+    found: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def found_ids(self) -> list[int]:
+        return [i for i, _ in self.found]
+
+
+class GnutellaOverlay:
+    """Random-graph overlay with keyword-indexed local stores."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        degree: int = 4,
+        rng: np.random.Generator,
+        sink: Optional[MetricSink] = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError(f"need >= 2 nodes, got {n_nodes}")
+        if degree < 2 or degree >= n_nodes:
+            raise ValueError(f"degree must be in [2, n_nodes), got {degree}")
+        if (n_nodes * degree) % 2:
+            # random_regular_graph needs an even degree sum; bump n by one
+            # is not an option (caller fixed it), so bump degree.
+            degree += 1
+        self.n_nodes = n_nodes
+        self.degree = degree
+        seed = int(rng.integers(0, 2**31 - 1))
+        self.graph = nx.random_regular_graph(degree, n_nodes, seed=seed)
+        self.sink = sink if sink is not None else MetricSink()
+        # node -> item_id -> keyword id array
+        self._stores: dict[int, dict[int, np.ndarray]] = {i: {} for i in range(n_nodes)}
+        # node -> keyword -> item ids (local inverted index)
+        self._postings: dict[int, dict[int, set[int]]] = {i: {} for i in range(n_nodes)}
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(self, node: int, item_id: int, keyword_ids: Sequence[int]) -> None:
+        """Store an item at a node (unstructured: no routing, no cost)."""
+        kws = np.asarray(sorted(int(k) for k in keyword_ids), dtype=np.int64)
+        self._stores[node][item_id] = kws
+        post = self._postings[node]
+        for k in kws:
+            post.setdefault(int(k), set()).add(item_id)
+
+    def publish_randomly(
+        self,
+        item_ids: Sequence[int],
+        baskets: Sequence[np.ndarray],
+        rng: np.random.Generator,
+    ) -> None:
+        """Scatter items over uniformly random nodes."""
+        homes = rng.integers(0, self.n_nodes, size=len(item_ids))
+        for item_id, basket, home in zip(item_ids, baskets, homes):
+            self.publish(int(home), int(item_id), basket)
+
+    def local_matches(self, node: int, keyword_ids: Sequence[int]) -> list[int]:
+        """Item ids at ``node`` containing every queried keyword."""
+        post = self._postings[node]
+        sets = []
+        for k in keyword_ids:
+            s = post.get(int(k))
+            if not s:
+                return []
+            sets.append(s)
+        return sorted(set.intersection(*sets))
+
+    # -- search ---------------------------------------------------------------
+
+    def flood(
+        self,
+        origin: int,
+        keyword_ids: Sequence[int],
+        *,
+        ttl: Optional[int] = None,
+        stop_after: Optional[int] = None,
+    ) -> FloodResult:
+        """Breadth-first flood from ``origin``.
+
+        Every edge crossed to a not-yet-visited node is one message;
+        messages to already-visited neighbors are also charged (real
+        floods do not know the recipient has seen the query — this is
+        what makes flooding expensive).  ``ttl=None`` floods the whole
+        component; ``stop_after`` ends the flood once that many matches
+        are in hand (an idealised early termination, flattering to the
+        baseline).
+        """
+        if origin not in self.graph:
+            raise KeyError(f"no node {origin}")
+        kws = [int(k) for k in keyword_ids]
+        result = FloodResult(origin=origin, ttl=ttl, messages=0, nodes_reached=1)
+        visited = {origin}
+        for item in self.local_matches(origin, kws):
+            result.found.append((item, origin))
+        frontier = [origin]
+        depth = 0
+        while frontier:
+            if ttl is not None and depth >= ttl:
+                break
+            if stop_after is not None and len(result.found) >= stop_after:
+                break
+            depth += 1
+            next_frontier: list[int] = []
+            for node in frontier:
+                for nb in self.graph.neighbors(node):
+                    result.messages += 1
+                    self.sink.charge("flood")
+                    if nb in visited:
+                        continue
+                    visited.add(nb)
+                    next_frontier.append(nb)
+                    for item in self.local_matches(nb, kws):
+                        result.found.append((item, nb))
+            frontier = next_frontier
+        result.nodes_reached = len(visited)
+        return result
+
+    def flood_for_vector(
+        self, origin: int, query: SparseVector, **kwargs
+    ) -> FloodResult:
+        """Flood using a query vector's keyword set."""
+        return self.flood(origin, [int(i) for i in query.indices], **kwargs)
+
+    def total_items(self) -> int:
+        return sum(len(s) for s in self._stores.values())

@@ -1,0 +1,169 @@
+"""Per-node local indexes (Fig. 2: "adopt VSM or LSI for local indexing").
+
+When a retrieve reaches a node, the node must answer "which of my
+stored items are most relevant to this query?"  :class:`LocalVsmIndex`
+implements the plain vector-space answer: cosine ranking, optional
+exact keyword filtering, and the *least-similar* selection that drives
+the publish-side replacement policy.
+
+Nodes hold at most a few multiples of ``c`` items, so queries use a
+keyword→items inverted map to shortlist candidates and score only
+those (items sharing no keyword with the query have cosine 0 and never
+rank).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..sim.node import StoredItem
+from .sparse import SparseVector
+
+__all__ = ["LocalVsmIndex", "ScoredItem"]
+
+
+class ScoredItem:
+    """A (stored item, cosine score) pair returned by index queries."""
+
+    __slots__ = ("item", "score")
+
+    def __init__(self, item: StoredItem, score: float) -> None:
+        self.item = item
+        self.score = score
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScoredItem(id={self.item.item_id}, score={self.score:.4f})"
+
+
+class LocalVsmIndex:
+    """Inverted-list VSM index over one node's stored items."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self._items: dict[int, StoredItem] = {}
+        self._norms: dict[int, float] = {}
+        self._postings: dict[int, set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._items
+
+    # -- maintenance --------------------------------------------------------
+
+    def add(self, item: StoredItem) -> None:
+        """Index an item (idempotent per item id; re-add replaces)."""
+        if item.item_id in self._items:
+            self.remove(item.item_id)
+        self._items[item.item_id] = item
+        self._norms[item.item_id] = float(
+            np.sqrt(np.dot(item.weights, item.weights))
+        )
+        for k in item.keyword_ids:
+            self._postings.setdefault(int(k), set()).add(item.item_id)
+
+    def remove(self, item_id: int) -> StoredItem:
+        try:
+            item = self._items.pop(item_id)
+        except KeyError:
+            raise KeyError(f"item {item_id} not indexed") from None
+        del self._norms[item_id]
+        for k in item.keyword_ids:
+            post = self._postings.get(int(k))
+            if post is not None:
+                post.discard(item_id)
+                if not post:
+                    del self._postings[int(k)]
+        return item
+
+    def rebuild(self, items: Iterable[StoredItem]) -> None:
+        """Reset the index to exactly the given items."""
+        self._items.clear()
+        self._norms.clear()
+        self._postings.clear()
+        for item in items:
+            self.add(item)
+
+    # -- scoring --------------------------------------------------------------
+
+    def _score(self, item: StoredItem, query: SparseVector, qnorm: float) -> float:
+        if qnorm == 0.0:
+            return 0.0
+        inorm = self._norms[item.item_id]
+        if inorm == 0.0:
+            return 0.0
+        # Sorted-intersection dot product.
+        common, ia, ib = np.intersect1d(
+            item.keyword_ids, query.indices, assume_unique=True, return_indices=True
+        )
+        if common.size == 0:
+            return 0.0
+        return float(np.dot(item.weights[ia], query.values[ib])) / (inorm * qnorm)
+
+    def _candidates(self, query: SparseVector) -> set[int]:
+        out: set[int] = set()
+        for k in query.indices:
+            out |= self._postings.get(int(k), set())
+        return out
+
+    def query(
+        self,
+        query: SparseVector,
+        limit: Optional[int] = None,
+        *,
+        require_all: Optional[Sequence[int]] = None,
+        min_score: float = 0.0,
+    ) -> list[ScoredItem]:
+        """Items ranked by descending cosine; deterministic tie-break on id.
+
+        ``require_all`` additionally filters to items containing every
+        listed keyword (exact multi-keyword matching); ``min_score``
+        drops weak matches (a cosine-space τ threshold).
+        """
+        qnorm = query.norm()
+        scored: list[tuple[float, int, StoredItem]] = []
+        for item_id in self._candidates(query):
+            item = self._items[item_id]
+            if require_all is not None:
+                have = set(int(k) for k in item.keyword_ids)
+                if not all(int(k) in have for k in require_all):
+                    continue
+            s = self._score(item, query, qnorm)
+            if s > 0.0 and s >= min_score:
+                scored.append((s, item_id, item))
+        scored.sort(key=lambda t: (-t[0], t[1]))
+        if limit is not None:
+            scored = scored[:limit]
+        return [ScoredItem(item, s) for s, _, item in scored]
+
+    def least_similar(self, query: SparseVector) -> Optional[StoredItem]:
+        """The stored item *least* similar to ``query`` — the replacement
+        victim of the Fig. 2 publish algorithm.
+
+        Scores every stored item (items sharing no keyword score 0 and
+        are the most eligible victims); ties break on ascending item id.
+        """
+        if not self._items:
+            return None
+        qnorm = query.norm()
+        best_id: Optional[int] = None
+        best_score = float("inf")
+        for item_id in sorted(self._items):
+            s = self._score(self._items[item_id], query, qnorm)
+            if s < best_score:
+                best_score, best_id = s, item_id
+        assert best_id is not None
+        return self._items[best_id]
+
+    def items_with_all_keywords(self, keyword_ids: Sequence[int]) -> list[StoredItem]:
+        """All stored items matching every keyword, by ascending id."""
+        if not keyword_ids:
+            return []
+        sets = [self._postings.get(int(k), set()) for k in keyword_ids]
+        hit = set.intersection(*sets) if sets else set()
+        return [self._items[i] for i in sorted(hit)]

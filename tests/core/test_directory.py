@@ -1,0 +1,73 @@
+"""Unit tests for directory pointers (§3.5.2)."""
+
+import numpy as np
+
+from repro.core.directory import pointer_for, publish_pointer
+from repro.core.meteorograph import Meteorograph, MeteorographConfig, PlacementScheme
+from repro.overlay.idspace import KeySpace
+from repro.overlay.tornado import TornadoOverlay
+from repro.sim.network import Network
+from repro.sim.node import StoredItem
+
+DIM = 16
+SPACE = KeySpace(10_000)
+
+
+def make_system(node_ids):
+    network = Network()
+    overlay = TornadoOverlay(SPACE, network)
+    system = Meteorograph(
+        space=SPACE,
+        network=network,
+        overlay=overlay,
+        dim=DIM,
+        config=MeteorographConfig(
+            scheme=PlacementScheme.NONE, directory_pointers=True
+        ),
+        equalizer=None,
+    )
+    for nid in node_ids:
+        overlay.add_node(nid)
+    return system
+
+
+def make_item(item_id, angle_key, body_key):
+    return StoredItem(
+        item_id=item_id,
+        publish_key=body_key,
+        angle_key=angle_key,
+        keyword_ids=np.array([1, 2]),
+        weights=np.ones(2),
+    )
+
+
+class TestPointerFor:
+    def test_fields(self):
+        p = pointer_for(make_item(7, angle_key=100, body_key=5000))
+        assert p.item_id == 7
+        assert p.angle_key == 100
+        assert p.body_key == 5000
+        assert list(p.keyword_ids) == [1, 2]
+
+
+class TestPublishPointer:
+    def test_pointer_lands_at_angle_home(self):
+        system = make_system(list(range(0, 10_000, 500)))
+        item = make_item(7, angle_key=1234, body_key=8000)
+        hops = publish_pointer(system, 8000, item)
+        home = system.overlay.home(1234)
+        node = system.network.node(home)
+        assert any(p.item_id == 7 for p in node.pointers())
+        assert hops >= 0
+
+    def test_pointer_messages_charged(self):
+        system = make_system(list(range(0, 10_000, 500)))
+        before = system.network.sink.count("pointer")
+        hops = publish_pointer(system, 8000, make_item(1, 100, 8000))
+        assert system.network.sink.count("pointer") - before == hops
+
+    def test_publish_emits_pointer_automatically(self):
+        system = make_system(list(range(0, 10_000, 500)))
+        system.publish(0, 3, [1, 2], [1.0, 1.0])
+        total_pointers = sum(n.pointer_count() for n in system.network.nodes())
+        assert total_pointers == 1

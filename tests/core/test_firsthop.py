@@ -1,0 +1,97 @@
+"""Unit tests for first-hop selection (§3.5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.firsthop import FirstHopSelector
+from repro.vsm.sparse import Corpus
+
+DIM = 20
+
+
+def make_selector():
+    corpus = Corpus.from_baskets(
+        [
+            [0, 1, 2],  # item 0
+            [0, 1],  # item 1
+            [5],  # item 2
+            [0, 1, 5],  # item 3
+        ],
+        DIM,
+    )
+    publish_keys = np.array([400, 300, 100, 200])
+    angle_keys = np.array([40, 30, 10, 20])
+    return FirstHopSelector(corpus, publish_keys, angle_keys)
+
+
+class TestMatching:
+    def test_single_keyword(self):
+        sel = make_selector()
+        assert list(sel.matching_sample_items([0])) == [0, 1, 3]
+
+    def test_conjunction(self):
+        sel = make_selector()
+        assert list(sel.matching_sample_items([0, 5])) == [3]
+
+    def test_unknown_keyword_empty(self):
+        assert make_selector().matching_sample_items([15]).size == 0
+
+    def test_empty_query_empty(self):
+        assert make_selector().matching_sample_items([]).size == 0
+
+
+class TestStartKey:
+    def test_smallest_matching_key(self):
+        sel = make_selector()
+        # Matches of [0]: items 0 (400), 1 (300), 3 (200) → 200.
+        assert sel.start_key([0]) == 200
+
+    def test_angle_space(self):
+        assert make_selector().start_key([0], angle_space=True) == 20
+
+    def test_no_match_returns_none(self):
+        assert make_selector().start_key([15]) is None
+
+    def test_missing_angle_keys_raise(self):
+        corpus = Corpus.from_baskets([[0]], DIM)
+        sel = FirstHopSelector(corpus, np.array([5]))
+        with pytest.raises(ValueError):
+            sel.start_key([0], angle_space=True)
+
+
+class TestRelaxedStartKey:
+    def test_full_match_beats_partial(self):
+        sel = make_selector()
+        key, matched = sel.relaxed_start_key([0, 5])
+        assert matched == 2
+        assert key == 200  # item 3 matches both
+
+    def test_partial_match_when_no_full(self):
+        sel = make_selector()
+        # No sample item has both 2 and 5; best partial is 1 keyword.
+        key, matched = sel.relaxed_start_key([2, 15])
+        assert matched == 1
+        assert key == 400  # item 0 is the only one with keyword 2
+
+    def test_no_overlap_returns_none(self):
+        assert make_selector().relaxed_start_key([15, 16]) is None
+
+    def test_smallest_key_among_best(self):
+        sel = make_selector()
+        key, matched = sel.relaxed_start_key([0, 1])
+        assert matched == 2
+        # Items 0 (400), 1 (300), 3 (200) all match both → min is 200.
+        assert key == 200
+
+    def test_angle_space(self):
+        key, _ = make_selector().relaxed_start_key([0, 1], angle_space=True)
+        assert key == 20
+
+
+class TestValidation:
+    def test_key_array_must_parallel_corpus(self):
+        corpus = Corpus.from_baskets([[0], [1]], DIM)
+        with pytest.raises(ValueError):
+            FirstHopSelector(corpus, np.array([1]))
+        with pytest.raises(ValueError):
+            FirstHopSelector(corpus, np.array([1, 2]), np.array([1]))

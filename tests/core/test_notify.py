@@ -1,0 +1,169 @@
+"""Unit tests for the notification service (§6 future work, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.core.meteorograph import Meteorograph, MeteorographConfig, PlacementScheme
+from repro.core.notify import NotificationService, Subscription
+from repro.overlay.idspace import KeySpace
+from repro.overlay.tornado import TornadoOverlay
+from repro.sim.network import Network
+from repro.sim.node import StoredItem
+from repro.vsm.sparse import SparseVector
+
+DIM = 32
+SPACE = KeySpace(100_000)
+
+
+def make_system(n_nodes=64, seed=0, replication=1):
+    network = Network()
+    overlay = TornadoOverlay(SPACE, network)
+    system = Meteorograph(
+        space=SPACE,
+        network=network,
+        overlay=overlay,
+        dim=DIM,
+        config=MeteorographConfig(
+            scheme=PlacementScheme.NONE, replication_factor=replication
+        ),
+        equalizer=None,
+    )
+    rng = np.random.default_rng(seed)
+    ids = set()
+    while len(ids) < n_nodes:
+        ids.add(int(rng.integers(0, SPACE.modulus)))
+    for nid in ids:
+        overlay.add_node(nid)
+    return system
+
+
+def vec(mapping):
+    return SparseVector.from_mapping(mapping, DIM)
+
+
+def item(item_id, mapping):
+    ids = np.array(sorted(mapping), dtype=np.int64)
+    w = np.array([mapping[k] for k in ids])
+    return StoredItem(item_id, 0, 0, ids, w)
+
+
+class TestSubscriptionMatching:
+    def test_require_all(self):
+        sub = Subscription(1, 0, vec({1: 1.0}), require_all=(1, 2))
+        assert sub.matches(item(1, {1: 1.0, 2: 1.0, 5: 1.0}))
+        assert not sub.matches(item(2, {1: 1.0}))
+
+    def test_min_cosine(self):
+        sub = Subscription(1, 0, vec({1: 1.0, 2: 1.0}), min_cosine=0.6)
+        assert sub.matches(item(1, {1: 1.0, 2: 1.0}))
+        assert not sub.matches(item(2, {1: 1.0, 9: 5.0}))
+
+    def test_combined_predicates(self):
+        sub = Subscription(
+            1, 0, vec({1: 1.0, 2: 1.0}), require_all=(1,), min_cosine=0.9
+        )
+        assert sub.matches(item(1, {1: 1.0, 2: 1.0}))
+        assert not sub.matches(item(2, {1: 1.0, 9: 9.0}))  # has kw 1, low cosine
+
+
+class TestService:
+    def test_attach_once(self):
+        system = make_system()
+        svc = NotificationService(system).attach()
+        assert system.notifications is svc
+        with pytest.raises(RuntimeError):
+            svc.attach()
+
+    def test_subscribe_charges_and_places(self):
+        system = make_system()
+        svc = NotificationService(system).attach()
+        origin = system.overlay.ring.at(0)
+        before = system.network.sink.count("subscribe")
+        sub = svc.subscribe(origin, vec({1: 1.0, 2: 1.0}), require_all=[1, 2])
+        assert system.network.sink.count("subscribe") >= before
+        assert svc.active_subscriptions == 1
+        assert sub.home_radius == 2
+
+    def test_publish_triggers_notification(self):
+        system = make_system()
+        svc = NotificationService(system).attach()
+        subscriber = system.overlay.ring.at(0)
+        # Interest matching items with keywords {1, 2}: its angle key
+        # equals the angle key of an identically-shaped item, so the
+        # subscription sits exactly where such publishes land.
+        svc.subscribe(subscriber, vec({1: 1.0, 2: 1.0}), require_all=[1, 2])
+        publisher = system.overlay.ring.at(1)
+        system.publish(publisher, 7, [1, 2], [1.0, 1.0])
+        notes = svc.notifications_for(subscriber)
+        assert [n.item_id for n in notes] == [7]
+        assert system.network.sink.count("notify") == 1
+
+    def test_non_matching_publish_silent(self):
+        system = make_system()
+        svc = NotificationService(system).attach()
+        subscriber = system.overlay.ring.at(0)
+        svc.subscribe(subscriber, vec({1: 1.0, 2: 1.0}), require_all=[1, 2])
+        system.publish(system.overlay.ring.at(1), 8, [5], [1.0])
+        assert svc.notifications_for(subscriber) == []
+
+    def test_home_radius_catches_displaced_publishes(self):
+        # Capacity 1 forces displacement off the exact home; radius-held
+        # subscription copies still see the stored item.
+        network = Network()
+        overlay = TornadoOverlay(SPACE, network)
+        system = Meteorograph(
+            space=SPACE, network=network, overlay=overlay, dim=DIM,
+            config=MeteorographConfig(scheme=PlacementScheme.NONE, node_capacity=1),
+            equalizer=None,
+        )
+        rng = np.random.default_rng(4)
+        ids = set()
+        while len(ids) < 64:
+            ids.add(int(rng.integers(0, SPACE.modulus)))
+        for nid in ids:
+            overlay.add_node(nid, capacity=1)
+        svc = NotificationService(system).attach()
+        subscriber = overlay.ring.at(0)
+        svc.subscribe(subscriber, vec({1: 1.0, 2: 1.0}), require_all=[1, 2],
+                      home_radius=4)
+        pub = overlay.ring.at(1)
+        for item_id in range(4):
+            system.publish(pub, item_id, [1, 2], [1.0, 1.0])
+        got = {n.item_id for n in svc.notifications_for(subscriber)}
+        assert got == {0, 1, 2, 3}
+
+    def test_unsubscribe_stops_notifications(self):
+        system = make_system()
+        svc = NotificationService(system).attach()
+        subscriber = system.overlay.ring.at(0)
+        sub = svc.subscribe(subscriber, vec({1: 1.0, 2: 1.0}), require_all=[1, 2])
+        assert svc.unsubscribe(sub.sub_id)
+        assert not svc.unsubscribe(sub.sub_id)
+        system.publish(system.overlay.ring.at(1), 7, [1, 2], [1.0, 1.0])
+        assert svc.notifications_for(subscriber) == []
+
+    def test_dead_subscriber_not_notified(self):
+        system = make_system()
+        svc = NotificationService(system).attach()
+        subscriber = system.overlay.ring.at(0)
+        svc.subscribe(subscriber, vec({1: 1.0, 2: 1.0}), require_all=[1, 2])
+        system.network.node(subscriber).fail()
+        publisher = system.overlay.ring.at(1)
+        system.publish(publisher, 7, [1, 2], [1.0, 1.0])
+        assert svc.notifications_for(subscriber) == []
+
+    def test_replicas_do_not_duplicate_notifications(self):
+        system = make_system(replication=3)
+        svc = NotificationService(system).attach()
+        subscriber = system.overlay.ring.at(0)
+        svc.subscribe(subscriber, vec({1: 1.0, 2: 1.0}), require_all=[1, 2],
+                      home_radius=6)
+        system.publish(system.overlay.ring.at(1), 7, [1, 2], [1.0, 1.0])
+        notes = svc.notifications_for(subscriber)
+        assert len(notes) == 1  # replica stores are filtered out
+
+    def test_invalid_radius(self):
+        system = make_system()
+        svc = NotificationService(system).attach()
+        with pytest.raises(ValueError):
+            svc.subscribe(system.overlay.ring.at(0), vec({1: 1.0}), home_radius=-1)

@@ -1,0 +1,172 @@
+"""Unit tests for range search (§6 future work, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.core.meteorograph import Meteorograph, MeteorographConfig, PlacementScheme
+from repro.core.ranges import AttributeSpec, RangeDirectory
+from repro.overlay.idspace import KeySpace
+from repro.overlay.tornado import TornadoOverlay
+from repro.sim.network import Network
+
+SPACE = KeySpace(100_000)
+
+
+def make_system(n_nodes=64, seed=0):
+    network = Network()
+    overlay = TornadoOverlay(SPACE, network)
+    system = Meteorograph(
+        space=SPACE,
+        network=network,
+        overlay=overlay,
+        dim=8,
+        config=MeteorographConfig(scheme=PlacementScheme.NONE),
+        equalizer=None,
+    )
+    rng = np.random.default_rng(seed)
+    ids = set()
+    while len(ids) < n_nodes:
+        ids.add(int(rng.integers(0, SPACE.modulus)))
+    for nid in ids:
+        overlay.add_node(nid)
+    return system
+
+
+class TestAttributeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", 5, 5, 0, 10)
+        with pytest.raises(ValueError):
+            AttributeSpec("x", 0, 1, 10, 10)
+        with pytest.raises(ValueError):
+            AttributeSpec("x", 0, 1, 0, 10, log_scale=True)
+
+    def test_key_of_monotone(self):
+        spec = AttributeSpec("mem", 1, 64, 1000, 2000)
+        keys = [spec.key_of(v) for v in (1, 2, 8, 32, 64)]
+        assert keys == sorted(keys)
+        assert keys[0] == 1000
+        assert keys[-1] == 1999
+
+    def test_key_of_clamps(self):
+        spec = AttributeSpec("mem", 1, 64, 1000, 2000)
+        assert spec.key_of(-5) == spec.key_of(1)
+        assert spec.key_of(1000) == spec.key_of(64)
+
+    def test_log_scale_octaves_equal_width(self):
+        spec = AttributeSpec("mem", 1, 16, 0, 4000, log_scale=True)
+        w1 = spec.key_of(2) - spec.key_of(1)
+        w2 = spec.key_of(4) - spec.key_of(2)
+        w3 = spec.key_of(8) - spec.key_of(4)
+        assert abs(w1 - w2) <= 1 and abs(w2 - w3) <= 1
+
+
+class TestRangeDirectory:
+    def test_register_and_default_slices_disjoint(self):
+        d = RangeDirectory(make_system())
+        a = d.register_attribute("mem", 1, 64)
+        b = d.register_attribute("cpu", 1, 32)
+        assert a.key_hi <= b.key_lo or b.key_hi <= a.key_lo
+
+    def test_duplicate_rejected(self):
+        d = RangeDirectory(make_system())
+        d.register_attribute("mem", 1, 64)
+        with pytest.raises(ValueError):
+            d.register_attribute("mem", 1, 8)
+
+    def test_unknown_attribute(self):
+        d = RangeDirectory(make_system())
+        with pytest.raises(KeyError):
+            d.spec("nope")
+
+    def test_advertise_and_exact_range(self):
+        system = make_system()
+        d = RangeDirectory(system)
+        d.register_attribute("mem", 1, 64, key_lo=0, key_hi=50_000)
+        origin = system.overlay.ring.at(0)
+        rng = np.random.default_rng(1)
+        values = {}
+        for item_id in range(120):
+            v = float(rng.uniform(1, 64))
+            values[item_id] = v
+            d.advertise(origin, item_id, "mem", v)
+        res = d.query(origin, "mem", 8.0, 24.0)
+        expected = {i for i, v in values.items() if 8.0 <= v <= 24.0}
+        assert {i for i, _ in res.matches} == expected
+
+    def test_range_results_sorted_by_value(self):
+        system = make_system()
+        d = RangeDirectory(system)
+        d.register_attribute("mem", 1, 64, key_lo=0, key_hi=50_000)
+        origin = system.overlay.ring.at(0)
+        for item_id, v in enumerate((30.0, 10.0, 20.0)):
+            d.advertise(origin, item_id, "mem", v)
+        res = d.query(origin, "mem", 1.0, 64.0)
+        assert [v for _, v in res.matches] == [10.0, 20.0, 30.0]
+
+    def test_query_cost_scales_with_span_not_total(self):
+        system = make_system(n_nodes=128)
+        d = RangeDirectory(system)
+        d.register_attribute("mem", 0, 1000, key_lo=0, key_hi=SPACE.modulus)
+        origin = system.overlay.ring.at(0)
+        rng = np.random.default_rng(2)
+        for item_id in range(300):
+            d.advertise(origin, item_id, "mem", float(rng.uniform(0, 1000)))
+        narrow = d.query(origin, "mem", 100, 120)
+        wide = d.query(origin, "mem", 0, 1000)
+        assert narrow.walk_hops < wide.walk_hops / 3
+
+    def test_empty_range_rejected(self):
+        d = RangeDirectory(make_system())
+        d.register_attribute("mem", 1, 64)
+        with pytest.raises(ValueError):
+            d.query(0, "mem", 10.0, 5.0)
+
+    def test_multi_attribute_conjunction(self):
+        system = make_system(n_nodes=96)
+        d = RangeDirectory(system)
+        d.register_attribute("mem", 0, 100, key_lo=0, key_hi=40_000)
+        d.register_attribute("cpu", 0, 100, key_lo=50_000, key_hi=90_000)
+        origin = system.overlay.ring.at(0)
+        rng = np.random.default_rng(5)
+        vals = {}
+        for item_id in range(80):
+            m, c = float(rng.uniform(0, 100)), float(rng.uniform(0, 100))
+            vals[item_id] = (m, c)
+            d.advertise(origin, item_id, "mem", m)
+            d.advertise(origin, item_id, "cpu", c)
+        got = d.query_all(origin, {"mem": (20, 60), "cpu": (50, 100)})
+        expected = sorted(
+            i for i, (m, c) in vals.items() if 20 <= m <= 60 and 50 <= c <= 100
+        )
+        assert got == expected
+
+    def test_query_all_validates(self):
+        d = RangeDirectory(make_system())
+        with pytest.raises(ValueError):
+            d.query_all(0, {})
+
+    def test_query_all_short_circuits_empty(self):
+        system = make_system()
+        d = RangeDirectory(system)
+        d.register_attribute("mem", 0, 100, key_lo=0, key_hi=40_000)
+        d.register_attribute("cpu", 0, 100, key_lo=50_000, key_hi=90_000)
+        origin = system.overlay.ring.at(0)
+        d.advertise(origin, 1, "mem", 90.0)
+        d.advertise(origin, 1, "cpu", 10.0)
+        assert d.query_all(origin, {"mem": (0, 10), "cpu": (0, 100)}) == []
+
+    def test_paper_example_memory_1g_to_8g(self):
+        """The paper's own example: machines with 1G–8G of memory."""
+        system = make_system(n_nodes=96)
+        d = RangeDirectory(system)
+        d.register_attribute(
+            "memory-gb", 0.25, 1024, key_lo=0, key_hi=SPACE.modulus, log_scale=True
+        )
+        origin = system.overlay.ring.at(0)
+        sizes = [0.5, 1, 1, 2, 4, 8, 8, 16, 64, 256]
+        for item_id, gb in enumerate(sizes):
+            d.advertise(origin, item_id, "memory-gb", gb)
+        res = d.query(origin, "memory-gb", 1, 8)
+        assert {i for i, _ in res.matches} == {1, 2, 3, 4, 5, 6}
+        assert res.messages > 0

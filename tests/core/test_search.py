@@ -1,0 +1,215 @@
+"""Unit tests for retrieval: ranked search, walks, exact-item lookup."""
+
+import numpy as np
+import pytest
+
+from repro.core.meteorograph import Meteorograph, MeteorographConfig, PlacementScheme
+from repro.core.search import find_item, retrieve, retrieve_with_pointers
+from repro.overlay.idspace import KeySpace
+from repro.overlay.tornado import TornadoOverlay
+from repro.sim.network import Network
+from repro.vsm.sparse import SparseVector
+
+DIM = 32
+SPACE = KeySpace(10_000)
+
+
+def make_system(node_ids, capacity=None, directory_pointers=False) -> Meteorograph:
+    network = Network()
+    overlay = TornadoOverlay(SPACE, network)
+    cfg = MeteorographConfig(
+        scheme=PlacementScheme.NONE,
+        node_capacity=capacity,
+        directory_pointers=directory_pointers,
+    )
+    system = Meteorograph(
+        space=SPACE,
+        network=network,
+        overlay=overlay,
+        dim=DIM,
+        config=cfg,
+        equalizer=None,
+    )
+    for nid in node_ids:
+        overlay.add_node(nid, capacity=capacity)
+    return system
+
+
+def publish(system, item_id, kws, weights=None):
+    w = [1.0] * len(kws) if weights is None else weights
+    return system.publish(system.overlay.ring.at(0), item_id, kws, w)
+
+
+def query(mapping):
+    return SparseVector.from_mapping(mapping, DIM)
+
+
+class TestRetrieve:
+    def test_finds_published_item_by_own_vector(self):
+        system = make_system(list(range(0, 10_000, 250)))
+        publish(system, 1, [3, 5], [1.0, 2.0])
+        res = retrieve(system, 0, query({3: 1.0, 5: 2.0}), amount=1)
+        assert res.found == 1
+        assert res.discoveries[0].item_id == 1
+        assert res.complete
+
+    def test_amount_limits_results(self):
+        system = make_system(list(range(0, 10_000, 250)))
+        for i in range(6):
+            publish(system, i, [3], [1.0 + i * 0.01])
+        res = retrieve(system, 0, query({3: 1.0}), amount=3)
+        assert res.found == 3
+
+    def test_amount_none_finds_all_matching(self):
+        system = make_system(list(range(0, 10_000, 250)))
+        for i in range(6):
+            publish(system, i, [3], [1.0 + i * 0.05])
+        res = retrieve(system, 0, query({3: 1.0}), amount=None, patience=40)
+        assert res.found == 6
+
+    def test_incomplete_flagged_when_too_few_exist(self):
+        system = make_system(list(range(0, 10_000, 250)))
+        publish(system, 1, [3])
+        res = retrieve(system, 0, query({3: 1.0}), amount=5, max_walk=10)
+        assert res.found == 1
+        assert not res.complete
+
+    def test_require_all_filters(self):
+        system = make_system(list(range(0, 10_000, 250)))
+        publish(system, 1, [3, 4])
+        publish(system, 2, [3])
+        res = retrieve(
+            system, 0, query({3: 1.0, 4: 1.0}), amount=None, require_all=[3, 4],
+            patience=40,
+        )
+        assert [d.item_id for d in res.discoveries] == [1]
+
+    def test_walk_hops_counted_and_charged(self):
+        system = make_system(list(range(0, 10_000, 250)))
+        for i in range(4):
+            publish(system, i, [3])
+        before = system.network.sink.count("retrieve")
+        res = retrieve(system, 0, query({3: 1.0}), amount=None, patience=5)
+        charged = system.network.sink.count("retrieve") - before
+        assert charged == res.route_hops + res.walk_hops
+
+    def test_start_key_overrides_query_key(self):
+        system = make_system(list(range(0, 10_000, 250)))
+        # Item has many keywords; a one-keyword query's own angle key is
+        # far from the item's — the §3.5.1 mismatch.
+        publish(system, 1, list(range(3, 19)))
+        item_key = system.published_key_of(1)
+        q = query({3: 1.0})
+        assert abs(system.query_key(q) - item_key) > 250  # keys truly differ
+        missed = retrieve(system, 0, q, amount=None, require_all=[3], patience=1)
+        found = retrieve(
+            system, 0, q, amount=None, require_all=[3],
+            start_key=item_key, patience=1,
+        )
+        assert found.found == 1
+        assert missed.found == 0
+
+    def test_direction_up_only_walks_successors(self):
+        system = make_system([1000, 2000, 3000, 4000])
+        res = retrieve(
+            system, 1000, query({3: 1.0}), amount=None,
+            start_key=2000, direction="up", patience=1,
+        )
+        assert all(v >= 2000 for v in res.visited)
+
+    def test_validation(self):
+        system = make_system([1000])
+        with pytest.raises(ValueError):
+            retrieve(system, 1000, query({1: 1.0}), amount=0)
+        with pytest.raises(ValueError):
+            retrieve(system, 1000, query({1: 1.0}), amount=1, patience=0)
+
+    def test_per_item_hops_grow_along_walk(self):
+        system = make_system(list(range(0, 10_000, 100)), capacity=1)
+        # Same key for all items → displacement spreads them over neighbors.
+        for i in range(8):
+            publish(system, i, [3], [1.0])
+        res = retrieve(system, 0, query({3: 1.0}), amount=None, patience=20)
+        hops = [d.hops for d in sorted(res.discoveries, key=lambda d: d.hops)]
+        assert res.found == 8
+        assert hops[0] <= hops[-1]
+
+
+class TestFindItem:
+    def test_find_at_home(self):
+        system = make_system(list(range(0, 10_000, 250)))
+        publish(system, 1, [3])
+        res = find_item(system, 0, 1)
+        assert res.found
+        assert res.total_hops == res.closest_hops
+
+    def test_find_displaced_item_walks(self):
+        system = make_system(list(range(0, 10_000, 250)), capacity=1)
+        for i in range(5):
+            publish(system, i, [3])  # same key → displacement chains
+        for i in range(5):
+            res = find_item(system, 0, i)
+            assert res.found, i
+        # At least one item is off-home.
+        offs = [find_item(system, 0, i) for i in range(5)]
+        assert any(r.total_hops > r.closest_hops for r in offs)
+
+    def test_find_unknown_item_raises(self):
+        system = make_system([1000])
+        with pytest.raises(KeyError):
+            find_item(system, 1000, 99)
+
+    def test_find_respects_max_walk(self):
+        system = make_system(list(range(0, 10_000, 250)), capacity=1)
+        for i in range(5):
+            publish(system, i, [3])
+        hardest = max(range(5), key=lambda i: find_item(system, 0, i).total_hops)
+        res = find_item(system, 0, hardest, max_walk=0)
+        if find_item(system, 0, hardest).total_hops > find_item(system, 0, hardest).closest_hops:
+            assert not res.found
+
+
+class TestPointerRetrieve:
+    def test_pointer_mode_requires_config(self):
+        system = make_system([1000])
+        with pytest.raises(RuntimeError):
+            retrieve_with_pointers(system, 1000, query({1: 1.0}), amount=1)
+
+    def test_pointer_search_finds_items(self):
+        system = make_system(list(range(0, 10_000, 250)), directory_pointers=True)
+        for i in range(5):
+            publish(system, i, [3, 4 + i])
+        res = retrieve_with_pointers(
+            system, 0, query({3: 1.0}), amount=None, require_all=[3], patience=20
+        )
+        assert res.found == 5
+        assert res.fetch_hops >= 0
+        assert res.reply_messages >= 1
+
+    def test_pointer_amount_stops_fetching(self):
+        system = make_system(list(range(0, 10_000, 250)), directory_pointers=True)
+        for i in range(8):
+            publish(system, i, [3])
+        res = retrieve_with_pointers(
+            system, 0, query({3: 1.0}), amount=2, require_all=[3], patience=20
+        )
+        assert res.found == 2
+
+    def test_pointer_messages_include_fetch_routes(self):
+        system = make_system(list(range(0, 10_000, 250)), directory_pointers=True)
+        publish(system, 1, [3])
+        res = retrieve_with_pointers(
+            system, 0, query({3: 1.0}), amount=1, require_all=[3], patience=20
+        )
+        assert res.messages == (
+            res.route_hops + res.walk_hops + res.fetch_hops + res.reply_messages
+        )
+
+    def test_keyword_overlap_filter_without_require_all(self):
+        system = make_system(list(range(0, 10_000, 250)), directory_pointers=True)
+        publish(system, 1, [3])
+        publish(system, 2, [9])
+        res = retrieve_with_pointers(
+            system, 0, query({3: 1.0}), amount=None, patience=20
+        )
+        assert 1 in res.item_ids()

@@ -1,0 +1,42 @@
+"""Tests for the continuous-churn experiment."""
+
+import pytest
+
+from repro.experiments.churn import run_churn
+from repro.workload import WorldCupParams, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorldCupParams(n_items=800, n_keywords=300), seed=77)
+
+
+class TestChurn:
+    def test_repair_sustains_availability(self, trace):
+        rs = run_churn(
+            trace, n_nodes=150, replicas=4, depart_rate=1.0,
+            repair_interval=5.0, horizon=60.0, sample_every=20.0,
+            queries_per_sample=60,
+        )
+        assert len(rs.rows) == 3
+        final = rs.rows[-1]
+        assert final[1] > 20  # meaningful churn actually happened
+        assert final[2] >= 0.8
+
+    def test_without_repair_availability_decays_more(self, trace):
+        kwargs = dict(
+            trace=trace, n_nodes=150, replicas=2, depart_rate=1.5,
+            repair_interval=5.0, horizon=80.0, sample_every=40.0,
+            queries_per_sample=80, seed=99,
+        )
+        with_r = run_churn(with_repair=True, **kwargs)
+        without = run_churn(with_repair=False, **kwargs)
+        assert with_r.rows[-1][2] >= without.rows[-1][2]
+
+    def test_rows_time_ordered(self, trace):
+        rs = run_churn(
+            trace, n_nodes=100, replicas=2, horizon=40.0, sample_every=10.0,
+            queries_per_sample=20,
+        )
+        times = rs.column("time")
+        assert times == sorted(times)

@@ -1,0 +1,196 @@
+"""Experiment-harness tests: every run_* produces a sane RowSet at tiny
+scale, and the headline *shape* claims of the paper hold."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlacementScheme
+from repro.experiments import (
+    RowSet,
+    format_table,
+    load_cdf_at,
+    occupancy_stats,
+    run_crossover,
+    run_design_ablation,
+    run_failures,
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10a,
+    run_fig10b,
+    run_firsthop_ablation,
+    run_overlay_ablation,
+    run_table1,
+)
+from repro.overlay.idspace import KeySpace
+from repro.workload import WorldCupParams, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorldCupParams(n_items=1500, n_keywords=400), seed=31)
+
+
+class TestRowSet:
+    def test_add_checks_width(self):
+        rs = RowSet("x", ("a", "b"))
+        rs.add(1, 2)
+        with pytest.raises(ValueError):
+            rs.add(1)
+
+    def test_column(self):
+        rs = RowSet("x", ("a", "b"))
+        rs.add(1, 2)
+        rs.add(3, 4)
+        assert rs.column("b") == [2, 4]
+
+    def test_format_table_renders(self):
+        rs = RowSet("demo", ("col",))
+        rs.add(1.23456)
+        text = format_table(rs)
+        assert "demo" in text and "1.235" in text
+
+
+class TestHelpers:
+    def test_occupancy_stats_detects_skew(self):
+        space = KeySpace(100_000)
+        rng = np.random.default_rng(0)
+        skew = rng.integers(50_000, 51_000, size=1000)
+        occ = occupancy_stats(skew, space, mass=0.85)
+        assert occ["space_fraction"] < 0.02
+        uniform = rng.integers(0, 100_000, size=1000)
+        assert occupancy_stats(uniform, space, mass=0.85)["space_fraction"] > 0.5
+
+    def test_load_cdf_at(self):
+        loads = np.array([0, 1, 2, 4, 100])
+        cdf = load_cdf_at(loads, 1.0, multiples=(1.0, 4.0))
+        assert cdf == [pytest.approx(0.4), pytest.approx(0.8)]
+
+
+class TestWorkloadExperiments:
+    def test_table1(self, trace):
+        rs = run_table1(trace)
+        assert len(rs.rows) == 5
+        assert "scale_vs_paper" in rs.notes
+
+    def test_fig6_profile_decreasing(self, trace):
+        rs = run_fig6(trace, points=10)
+        sizes = rs.column("objects accessed")
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestKeyCdfExperiments:
+    def test_fig3_shows_heavy_skew(self, trace):
+        rs = run_fig3(trace)
+        # The paper's headline: the bulk of items in a tiny space slice.
+        assert rs.notes["space_fraction_for_85pct"] < 0.05
+
+    def test_fig4_flattens(self, trace):
+        rs3 = run_fig3(trace)
+        rs4 = run_fig4(trace)
+        assert rs4.notes["space_fraction_for_85pct"] > 5 * rs3.notes["space_fraction_for_85pct"]
+
+
+class TestRoutingExperiments:
+    def test_fig7_hops_scale_logarithmically(self, trace):
+        rs = run_fig7(
+            trace, node_counts=(64, 256), queries=60,
+            schemes=(PlacementScheme.UNUSED_HASH_HOT,),
+        )
+        hops = rs.column("mean hops")
+        ns = rs.column("N")
+        assert hops[1] > hops[0]  # grows with N
+        assert hops[1] < hops[0] * (ns[1] / ns[0]) ** 0.5  # far sublinear
+
+    def test_fig8_none_scheme_is_skewed(self, trace):
+        rs = run_fig8(trace, n_nodes=100)
+        by_scheme = {row[0]: row for row in rs.rows}
+        none_row = by_scheme["None"]
+        hot_row = by_scheme["Unused Hash Space + Hot Regions"]
+        # Max load/c: None catastrophically worse than the optimized scheme.
+        assert none_row[-1] > 3 * hot_row[-1]
+
+    def test_fig9_balancing_preserves_retrieval(self, trace):
+        rs = run_fig9(trace, n_nodes=100, queries=80)
+        by_scheme = {row[0]: row for row in rs.rows}
+        none_total = by_scheme["None"][2]
+        hot_total = by_scheme["Unused Hash Space + Hot Regions"][2]
+        assert none_total > 2 * hot_total
+        # Optimized: home hit rate high.
+        assert by_scheme["Unused Hash Space + Hot Regions"][4] > 0.5
+
+
+class TestSimilarityExperiments:
+    def test_fig10a_recall_near_total(self, trace):
+        rs = run_fig10a(trace, n_nodes=120, ranks=(1, 2))
+        for recall in rs.column("recall"):
+            assert recall >= 0.9
+
+    def test_fig10b_messages_grow_with_k(self, trace):
+        rs = run_fig10b(trace, n_nodes=120, k_values=(4, 16, 64))
+        msgs = rs.column("messages")
+        assert msgs[0] < msgs[-1]
+
+
+class TestFailureExperiment:
+    def test_availability_monotone_in_replicas(self, trace):
+        rs = run_failures(
+            trace, n_nodes=120, replica_counts=(1, 4),
+            fail_fractions=(0.5,), queries=120,
+        )
+        avail = {row[0]: row[2] for row in rs.rows}
+        assert avail[4] > avail[1]
+
+    def test_availability_decreasing_in_failures(self, trace):
+        rs = run_failures(
+            trace, n_nodes=120, replica_counts=(2,),
+            fail_fractions=(0.1, 0.9), queries=120,
+        )
+        avail = rs.column("availability")
+        assert avail[0] > avail[1]
+
+
+class TestBaselinesAndAblations:
+    def test_crossover_meteorograph_beats_flood_for_small_k(self, trace):
+        rs = run_crossover(trace, n_nodes=150, k_values=(4,))
+        row = rs.rows[0]
+        met, gnut = row[1], row[2]
+        assert met < gnut
+
+    def test_overlay_ablation_rows(self, trace):
+        rs = run_overlay_ablation(trace, n_nodes=100, queries=40)
+        kinds = rs.column("overlay")
+        assert kinds == ["tornado", "chord"]
+        for recall in rs.column("keyword recall"):
+            assert recall > 0.5
+
+    def test_design_ablation_has_baseline_first(self, trace):
+        rs = run_design_ablation(trace, n_nodes=80, queries=30)
+        assert rs.rows[0][0].startswith("baseline")
+        assert len(rs.rows) == 7
+
+    def test_firsthop_ablation_shows_walk_mode_effect(self, trace):
+        rs = run_firsthop_ablation(trace, n_nodes=80, patience=4)
+        assert len(rs.rows) == 8
+        walk = {(r[1], r[2]): r[3] for r in rs.rows if r[0] == "walk"}
+        # With a tight patience, first-hop must not be worse, and for at
+        # least one rank strictly better.
+        assert all(walk[("on", rank)] >= walk[("off", rank)] for rank in (1, 4))
+
+    def test_join_cost_scales_logarithmically(self, trace):
+        from repro.experiments.maintenance import run_join_cost
+
+        rs = run_join_cost(trace, node_counts=(32, 256))
+        costs = rs.column("mean join msgs (last half)")
+        ns = rs.column("N")
+        assert costs[1] > costs[0]  # grows with N
+        assert costs[1] < costs[0] * (ns[1] / ns[0]) ** 0.5  # far sublinear
+
+    def test_proximity_experiment_rows(self):
+        from repro.experiments.proximity import run_proximity
+
+        rs = run_proximity(n_nodes=120, queries=80)
+        assert [r[0] for r in rs.rows] == ["prefix-first", "proximity-aware"]

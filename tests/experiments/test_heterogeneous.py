@@ -1,0 +1,43 @@
+"""Tests for the heterogeneous-capacity and conjunction experiments."""
+
+import math
+
+import pytest
+
+from repro.experiments.heterogeneous import run_conjunctions, run_heterogeneous
+from repro.workload import WorldCupParams, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorldCupParams(n_items=1200, n_keywords=350), seed=21)
+
+
+class TestHeterogeneous:
+    def test_load_follows_capacity(self, trace):
+        rs = run_heterogeneous(trace, n_nodes=120, capacity_multiple=2.0)
+        by_profile = {row[0]: row for row in rs.rows}
+        corr = by_profile["pareto"][1]
+        assert corr > 0.5  # displacement shifts load onto capable peers
+
+    def test_no_node_over_capacity(self, trace):
+        rs = run_heterogeneous(trace, n_nodes=120, capacity_multiple=2.0)
+        for row in rs.rows:
+            assert row[3] <= 1.0 + 1e-9  # p99 utilisation within capacity
+
+    def test_homogeneous_correlation_is_nan(self, trace):
+        rs = run_heterogeneous(trace, n_nodes=100)
+        by_profile = {row[0]: row for row in rs.rows}
+        assert math.isnan(by_profile["homogeneous"][1])
+
+
+class TestConjunctions:
+    def test_recall_high_at_every_size(self, trace):
+        rs = run_conjunctions(trace, n_nodes=120, sizes=(1, 3), queries_per_size=4)
+        for row in rs.rows:
+            assert row[1] >= 0.9
+
+    def test_matching_sets_shrink_with_size(self, trace):
+        rs = run_conjunctions(trace, n_nodes=120, sizes=(1, 4), queries_per_size=4)
+        totals = rs.column("mean matching items")
+        assert totals[0] > totals[-1]

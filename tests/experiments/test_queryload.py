@@ -1,0 +1,53 @@
+"""Tests for the query-load fairness experiment and the gini helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import gini
+from repro.experiments.queryload import run_query_load
+from repro.workload import WorldCupParams, generate_trace
+
+
+class TestGini:
+    def test_equal_distribution_is_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_holder_approaches_one(self):
+        g = gini([0] * 99 + [100])
+        assert g == pytest.approx(0.99, abs=0.01)
+
+    def test_known_value(self):
+        # For [0, 1]: G = 0.5.
+        assert gini([0, 1]) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+    def test_all_zero_is_zero(self):
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini([])
+        with pytest.raises(ValueError):
+            gini([-1, 2])
+
+
+class TestQueryLoad:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(WorldCupParams(n_items=1000, n_keywords=300), seed=88)
+
+    def test_both_modes_reported(self, trace):
+        rs = run_query_load(trace, n_nodes=100, keyword_queries=12, item_queries=30)
+        assert [r[0] for r in rs.rows] == ["pointers", "walk"]
+        for row in rs.rows:
+            assert 0.0 <= row[1] <= 1.0
+            assert 0.0 <= row[2] <= 1.0
+            assert row[3] > 0
+
+    def test_pointer_mode_concentrates_search_traffic(self, trace):
+        rs = run_query_load(trace, n_nodes=100, keyword_queries=16, item_queries=10)
+        by_mode = {row[0]: row for row in rs.rows}
+        # Pointer aggregation ⇒ higher concentration of query handling.
+        assert by_mode["pointers"][2] >= by_mode["walk"][2] - 0.05

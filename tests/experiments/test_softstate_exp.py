@@ -1,0 +1,39 @@
+"""Tests for the soft-state churn experiment."""
+
+import pytest
+
+from repro.experiments.softstate_exp import run_softstate
+from repro.workload import WorldCupParams, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorldCupParams(n_items=600, n_keywords=200), seed=13)
+
+
+class TestSoftState:
+    def test_republish_never_hurts_availability(self, trace):
+        rs = run_softstate(
+            trace, n_nodes=120, n_items=150, replicas=2,
+            depart_rate=1.5, horizon=40.0,
+            republish_intervals=(5.0, 1e9), queries=80,
+        )
+        by_label = {row[0]: row for row in rs.rows}
+        assert by_label["5"][1] >= by_label["off"][1] - 0.02
+
+    def test_republish_costs_messages(self, trace):
+        rs = run_softstate(
+            trace, n_nodes=100, n_items=100, replicas=2,
+            depart_rate=0.5, horizon=30.0,
+            republish_intervals=(5.0, 1e9), queries=50,
+        )
+        by_label = {row[0]: row for row in rs.rows}
+        assert by_label["5"][2] > 2 * by_label["off"][2]
+
+    def test_orphans_accumulate_without_republish(self, trace):
+        rs = run_softstate(
+            trace, n_nodes=100, n_items=120, replicas=2,
+            depart_rate=2.0, horizon=40.0,
+            republish_intervals=(1e9,), queries=40,
+        )
+        assert rs.rows[0][3] > 0

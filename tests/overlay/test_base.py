@@ -1,0 +1,100 @@
+"""Direct tests for the abstract overlay layer (RouteResult, shared helpers)."""
+
+import pytest
+
+from repro.overlay.base import RouteResult
+from repro.overlay.idspace import KeySpace
+from repro.overlay.tornado import TornadoOverlay
+from repro.sim.network import Network
+
+SPACE = KeySpace(1000)
+
+
+def make_overlay(ids=(100, 300, 500, 700, 900)):
+    overlay = TornadoOverlay(SPACE, Network())
+    for nid in ids:
+        overlay.add_node(nid)
+    return overlay
+
+
+class TestRouteResult:
+    def test_hops_and_messages(self):
+        r = RouteResult(origin=1, key=5, home=3, path=[1, 2, 3])
+        assert r.hops == 2
+        assert r.messages == 2
+
+    def test_empty_path(self):
+        r = RouteResult(origin=1, key=5, home=None, path=[])
+        assert r.hops == 0
+
+
+class TestMembershipHelpers:
+    def test_size_and_alive_size(self):
+        ov = make_overlay()
+        assert ov.size == 5
+        ov.node(100).fail()
+        assert ov.size == 5  # registration unchanged
+        assert ov.alive_size() == 4
+
+    def test_nodes_in_key_order(self):
+        ov = make_overlay((500, 100, 900))
+        assert [n.node_id for n in ov.nodes()] == [100, 500, 900]
+
+    def test_add_node_rollback_on_network_conflict(self):
+        ov = make_overlay((100,))
+        # Register a node directly on the network to force the conflict.
+        from repro.sim.node import PeerNode
+
+        ov.network.add_node(PeerNode(555))
+        with pytest.raises(ValueError):
+            ov.add_node(555)
+        assert 555 not in ov.ring  # ring stayed consistent
+
+
+class TestLiveHome:
+    def test_prefers_true_home(self):
+        ov = make_overlay()
+        assert ov.live_home(310) == 300
+
+    def test_falls_to_nearest_live(self):
+        ov = make_overlay()
+        ov.node(300).fail()
+        assert ov.live_home(310) in (100, 500)
+        ov.node(500).fail()
+        assert ov.live_home(310) == 100
+
+    def test_none_when_all_dead(self):
+        ov = make_overlay()
+        for nid in list(ov.ring):
+            ov.node(nid).fail()
+        assert ov.live_home(310) is None
+
+
+class TestNeighborHelpers:
+    def test_closest_neighbor_skips_dead(self):
+        ov = make_overlay()
+        ov.node(300).fail()
+        assert ov.closest_neighbor(100) == 500 or ov.closest_neighbor(100) == 300
+        # 300 is dead → next nearest live is 500 (or wrap candidates).
+        assert ov.closest_neighbor(100) != 300
+
+    def test_closest_neighbor_none_when_alone(self):
+        ov = make_overlay((100,))
+        assert ov.closest_neighbor(100) is None
+
+    def test_replica_homes_count_and_exclusion(self):
+        ov = make_overlay()
+        homes = ov.replica_homes(500, 3)
+        assert len(homes) == 3
+        assert 500 not in homes
+
+    def test_replica_homes_exhausts_small_ring(self):
+        ov = make_overlay((100, 300))
+        assert ov.replica_homes(100, 5) == [300]
+
+    def test_closest_neighbors_wrap_mode(self):
+        ov = make_overlay()
+        out = list(ov.closest_neighbors(900, wrap=True))
+        assert set(out) == {100, 300, 500, 700}
+        # 100 is nearest under wrap (distance 200 == 700's; tie upward).
+        assert out[0] in (100, 700)

@@ -1,0 +1,115 @@
+"""Unit tests for the Chord overlay."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.idspace import KeySpace
+from repro.sim.network import Network
+
+
+def make_overlay(node_ids, modulus=1 << 16, **kwargs) -> ChordOverlay:
+    overlay = ChordOverlay(KeySpace(modulus), Network(), **kwargs)
+    for nid in node_ids:
+        overlay.add_node(nid)
+    return overlay
+
+
+def random_overlay(n, seed=0, modulus=1 << 16, **kwargs):
+    rng = np.random.default_rng(seed)
+    ids = set()
+    while len(ids) < n:
+        ids.add(int(rng.integers(0, modulus)))
+    return make_overlay(sorted(ids), modulus=modulus, **kwargs), rng
+
+
+class TestHome:
+    def test_home_is_successor(self):
+        ov = make_overlay([100, 200, 60000])
+        assert ov.home(150) == 200
+        assert ov.home(100) == 100
+        assert ov.home(60001) == 100  # wraps
+        assert ov.home(50) == 100
+
+    def test_preference_order_is_successor_chain(self):
+        ov = make_overlay([100, 200, 300])
+        prefs = list(ov._homes_by_preference(150))
+        assert prefs == [200, 300, 100]
+
+
+class TestFingers:
+    def test_finger_targets(self):
+        ov = make_overlay([0, 1 << 8, 1 << 12, 1 << 15])
+        fingers = ov.fingers(0)
+        assert fingers[8] == 1 << 8  # successor(0 + 256)
+        assert fingers[0] == 1 << 8  # successor(1)
+        assert fingers[15] == 1 << 15
+
+    def test_successor_list_distinct_clockwise(self):
+        ov = make_overlay([10, 20, 30, 40], successor_list_size=3)
+        assert ov.successor_list(10) == [20, 30, 40]
+        assert ov.successor_list(40) == [10, 20, 30]
+
+    def test_successor_list_small_ring(self):
+        ov = make_overlay([10, 20], successor_list_size=8)
+        assert ov.successor_list(10) == [20]
+
+
+class TestRouting:
+    def test_route_reaches_home(self):
+        ov, rng = random_overlay(150, seed=1)
+        for _ in range(80):
+            key = int(rng.integers(0, ov.space.modulus))
+            origin = ov.ring.at(int(rng.integers(0, ov.size)))
+            res = ov.route(origin, key)
+            assert res.home == ov.home(key), (key, res.home, ov.home(key))
+            assert res.succeeded
+
+    def test_route_is_logarithmic(self):
+        ov, rng = random_overlay(256, seed=2)
+        hops = []
+        for _ in range(100):
+            key = int(rng.integers(0, ov.space.modulus))
+            origin = ov.ring.at(int(rng.integers(0, ov.size)))
+            hops.append(ov.route(origin, key).hops)
+        assert np.mean(hops) < 2 * np.log2(256)
+
+    def test_route_with_failures_after_stabilize(self):
+        ov, rng = random_overlay(100, seed=3)
+        dead = [ov.ring.at(i) for i in range(0, 100, 3)]
+        ov.network.fail_nodes(dead)
+        ov.stabilize()
+        for _ in range(30):
+            key = int(rng.integers(0, ov.space.modulus))
+            origin = ov.ring.at(1)
+            if not ov.network.is_alive(origin):
+                continue
+            res = ov.route(origin, key)
+            assert res.home == ov.live_home(key)
+
+    def test_route_detours_with_stale_tables(self):
+        ov, rng = random_overlay(80, seed=4)
+        key = int(rng.integers(0, ov.space.modulus))
+        home = ov.home(key)
+        ov.node(home).fail()
+        origin = next(nid for nid in ov.ring if nid != home and ov.network.is_alive(nid))
+        res = ov.route(origin, key)
+        assert res.home != home
+
+    def test_dead_origin_rejected(self):
+        from repro.overlay.base import RoutingError
+
+        ov = make_overlay([10, 20])
+        ov.node(10).fail()
+        with pytest.raises(RoutingError):
+            ov.route(10, 15)
+
+    def test_single_node_owns_everything(self):
+        ov = make_overlay([42])
+        res = ov.route(42, 7)
+        assert res.home == 42
+        assert res.hops == 0
+
+    def test_invalid_successor_list_size(self):
+        with pytest.raises(ValueError):
+            ChordOverlay(KeySpace(16), Network(), successor_list_size=0)

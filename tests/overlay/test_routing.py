@@ -1,0 +1,142 @@
+"""Unit tests for digit codecs and prefix routing tables."""
+
+import pytest
+
+from repro.overlay.idspace import KeySpace, SortedKeyRing
+from repro.overlay.routing import DigitCodec, PrefixRoutingTable
+
+SPACE = KeySpace(1 << 16)
+
+
+class TestDigitCodec:
+    def test_dimensions(self):
+        codec = DigitCodec(SPACE, digit_bits=4)
+        assert codec.radix == 16
+        assert codec.num_digits == 4  # 16 bits / 4
+
+    def test_uneven_bits_round_up(self):
+        codec = DigitCodec(KeySpace(1 << 10), digit_bits=4)
+        assert codec.num_digits == 3  # ceil(10/4)
+
+    def test_digit_extraction(self):
+        codec = DigitCodec(SPACE, digit_bits=4)
+        key = 0xABCD
+        assert [codec.digit(key, r) for r in range(4)] == [0xA, 0xB, 0xC, 0xD]
+
+    def test_digit_bounds(self):
+        codec = DigitCodec(SPACE, digit_bits=4)
+        with pytest.raises(IndexError):
+            codec.digit(0, 4)
+
+    def test_shared_prefix_len(self):
+        codec = DigitCodec(SPACE, digit_bits=4)
+        assert codec.shared_prefix_len(0xABCD, 0xABCE) == 3
+        assert codec.shared_prefix_len(0xABCD, 0xABCD) == 4
+        assert codec.shared_prefix_len(0xABCD, 0x1BCD) == 0
+
+    def test_prefix_interval(self):
+        codec = DigitCodec(SPACE, digit_bits=4)
+        lo, hi = codec.prefix_interval(0xABCD, 1, 0x7)
+        # first digit A fixed, second digit 7: [0xA700, 0xA800)
+        assert (lo, hi) == (0xA700, 0xA800)
+
+    def test_prefix_interval_partitions_space(self):
+        codec = DigitCodec(SPACE, digit_bits=4)
+        covered = 0
+        for d in range(16):
+            lo, hi = codec.prefix_interval(0x1234, 0, d)
+            covered += hi - lo
+        assert covered == SPACE.modulus
+
+    def test_invalid_digit_bits(self):
+        with pytest.raises(ValueError):
+            DigitCodec(SPACE, digit_bits=0)
+
+
+class TestPrefixRoutingTable:
+    def make(self, members, owner=0x1000, bits=4):
+        codec = DigitCodec(SPACE, bits)
+        ring = SortedKeyRing(SPACE, members)
+        return PrefixRoutingTable(owner, codec, ring), codec
+
+    def test_entry_shares_prefix(self):
+        members = [0x1000, 0x1F00, 0x2400, 0x9999]
+        table, codec = self.make(members)
+        row0 = table.row(0)
+        # digit 2 at row 0 -> some member starting with 0x2
+        assert row0[0x2] == 0x2400
+        assert row0[0x9] == 0x9999
+        assert row0[0x3] is None
+
+    def test_row_memoised(self):
+        table, _ = self.make([0x1000, 0x2400])
+        assert table.populated_rows() == 0
+        r1 = table.row(0)
+        assert table.populated_rows() == 1
+        assert table.row(0) is r1
+
+    def test_invalidate_clears_memo(self):
+        table, _ = self.make([0x1000, 0x2400])
+        table.row(0)
+        table.invalidate()
+        assert table.populated_rows() == 0
+
+    def test_rebind_uses_new_ring(self):
+        table, _ = self.make([0x1000, 0x2400])
+        assert table.row(0)[0x2] == 0x2400
+        table.rebind(SortedKeyRing(SPACE, [0x1000, 0x2800]))
+        assert table.row(0)[0x2] == 0x2800
+
+    def test_next_hop_primary_extends_prefix(self):
+        members = [0x1000, 0x1200, 0x1250, 0x9000]
+        table, codec = self.make(members, owner=0x1000)
+        cands = table.next_hop_candidates(0x1234)
+        # Primary should share 2 digits (0x12..) with the key.
+        assert cands[0] in (0x1200, 0x1250)
+        assert codec.shared_prefix_len(cands[0], 0x1234) >= 2
+
+    def test_next_hop_excludes_owner(self):
+        table, _ = self.make([0x1000, 0x9000], owner=0x1000)
+        cands = table.next_hop_candidates(0x1999)
+        assert 0x1000 not in cands
+
+    def test_next_hop_empty_when_owner_is_key(self):
+        table, _ = self.make([0x1000, 0x9000], owner=0x1000)
+        assert table.next_hop_candidates(0x1000) == []
+
+
+class TestEntrySelector:
+    def test_selector_chooses_among_block_candidates(self):
+        codec = DigitCodec(SPACE, 4)
+        ring = SortedKeyRing(SPACE, [0x1000, 0x2100, 0x2200, 0x2300])
+        picked = []
+
+        def selector(owner, candidates):
+            picked.append((owner, list(candidates)))
+            return candidates[-1]  # deliberately not the first
+
+        table = PrefixRoutingTable(0x1000, codec, ring, selector)
+        row = table.row(0)
+        assert row[0x2] == 0x2300  # selector's choice, not successor(lo)
+        owner, cands = picked[[p[1] for p in picked].index([0x2100, 0x2200, 0x2300])]
+        assert owner == 0x1000
+
+    def test_selector_candidate_limit(self):
+        codec = DigitCodec(SPACE, 4)
+        members = [0x2000 + i for i in range(30)]  # one dense block
+        ring = SortedKeyRing(SPACE, [0x1000] + members)
+        sizes = []
+
+        def selector(owner, candidates):
+            sizes.append(len(candidates))
+            return candidates[0]
+
+        table = PrefixRoutingTable(0x1000, codec, ring, selector)
+        table.row(0)
+        assert max(sizes) <= PrefixRoutingTable.CANDIDATE_LIMIT
+
+    def test_without_selector_first_in_block(self):
+        codec = DigitCodec(SPACE, 4)
+        ring = SortedKeyRing(SPACE, [0x1000, 0x2100, 0x2900])
+        table = PrefixRoutingTable(0x1000, codec, ring)
+        assert table.row(0)[0x2] == 0x2100

@@ -1,0 +1,198 @@
+"""Unit + property tests for the Tornado-style overlay."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.idspace import KeySpace
+from repro.overlay.tornado import TornadoOverlay
+from repro.sim.network import Network
+
+
+def make_overlay(node_ids, modulus=1 << 16, **kwargs) -> TornadoOverlay:
+    space = KeySpace(modulus)
+    overlay = TornadoOverlay(space, Network(), **kwargs)
+    for nid in node_ids:
+        overlay.add_node(nid)
+    return overlay
+
+
+def random_overlay(n, seed=0, modulus=1 << 16, **kwargs):
+    rng = np.random.default_rng(seed)
+    ids = set()
+    while len(ids) < n:
+        ids.add(int(rng.integers(0, modulus)))
+    return make_overlay(sorted(ids), modulus=modulus, **kwargs), rng
+
+
+class TestMembership:
+    def test_add_and_size(self):
+        ov = make_overlay([10, 20, 30])
+        assert ov.size == 3
+        assert [n.node_id for n in ov.nodes()] == [10, 20, 30]
+
+    def test_duplicate_rejected_consistently(self):
+        ov = make_overlay([10])
+        with pytest.raises(ValueError):
+            ov.add_node(10)
+        assert ov.size == 1  # ring not corrupted
+
+    def test_remove(self):
+        ov = make_overlay([10, 20])
+        ov.remove_node(10)
+        assert ov.size == 1
+        assert 10 not in ov.network
+
+
+class TestHome:
+    def test_home_is_ring_closest(self):
+        ov = make_overlay([100, 200, 60000])
+        assert ov.home(120) == 100
+        assert ov.home(180) == 200
+        assert ov.home(10) == 60000 or ov.home(10) == 100
+        # wrap: dist(10, 60000) = 5546 vs dist(10,100)=90 -> 100
+        assert ov.home(10) == 100
+
+    def test_live_home_skips_dead(self):
+        ov = make_overlay([100, 200, 300])
+        ov.node(100).fail()
+        assert ov.live_home(90) == 200
+        ov.node(200).fail()
+        assert ov.live_home(90) == 300
+        ov.node(300).fail()
+        assert ov.live_home(90) is None
+
+
+class TestLeafSet:
+    def test_leaf_set_covers_both_sides(self):
+        ov = make_overlay([10, 20, 30, 40, 50], leaf_set_size=2)
+        ls = ov.leaf_set(30)
+        assert set(ls) == {10, 20, 40, 50}
+
+    def test_leaf_set_small_ring(self):
+        ov = make_overlay([10, 20], leaf_set_size=4)
+        assert set(ov.leaf_set(10)) == {20}
+
+    def test_singleton_has_empty_leaf_set(self):
+        ov = make_overlay([10])
+        assert ov.leaf_set(10) == []
+
+
+class TestRouting:
+    def test_route_reaches_home(self):
+        ov, rng = random_overlay(200, seed=1)
+        for _ in range(100):
+            key = int(rng.integers(0, ov.space.modulus))
+            origin = ov.ring.at(int(rng.integers(0, ov.size)))
+            res = ov.route(origin, key)
+            assert res.home == ov.home(key)
+            assert res.succeeded
+            assert res.path[0] == origin
+            assert res.path[-1] == res.home
+
+    def test_route_charges_one_message_per_hop(self):
+        ov, rng = random_overlay(100, seed=2)
+        before = ov.network.sink.count("route")
+        res = ov.route(ov.ring.at(0), 1234)
+        assert ov.network.sink.count("route") - before == res.hops
+
+    def test_route_from_home_is_zero_hops(self):
+        ov, _ = random_overlay(50, seed=3)
+        key = 777
+        home = ov.home(key)
+        res = ov.route(home, key)
+        assert res.hops == 0
+
+    def test_route_is_logarithmic(self):
+        ov, rng = random_overlay(512, seed=4, digit_bits=2)
+        hops = []
+        for _ in range(200):
+            key = int(rng.integers(0, ov.space.modulus))
+            origin = ov.ring.at(int(rng.integers(0, ov.size)))
+            hops.append(ov.route(origin, key).hops)
+        # log4(512) = 4.5; allow generous headroom but far below N.
+        assert np.mean(hops) < 3 * math.log(512, 4)
+        assert max(hops) < 30
+
+    def test_route_detours_around_dead_nodes(self):
+        ov, rng = random_overlay(100, seed=5)
+        key = int(rng.integers(0, ov.space.modulus))
+        home = ov.home(key)
+        ov.node(home).fail()
+        origin = next(nid for nid in ov.ring if nid != home)
+        res = ov.route(origin, key)
+        assert res.home != home
+        assert res.home == ov.live_home(key)
+        assert res.succeeded
+
+    def test_route_from_dead_origin_rejected(self):
+        ov = make_overlay([10, 20])
+        ov.node(10).fail()
+        from repro.overlay.base import RoutingError
+
+        with pytest.raises(RoutingError):
+            ov.route(10, 15)
+
+    def test_route_unknown_origin_rejected(self):
+        ov = make_overlay([10, 20])
+        with pytest.raises(KeyError):
+            ov.route(999, 15)
+
+    def test_max_hops_enforced(self):
+        ov, _ = random_overlay(200, seed=6)
+        res = ov.route(ov.ring.at(0), 60000, max_hops=0)
+        if res.home != ov.home(60000):
+            assert not res.succeeded
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_route_terminates_at_global_minimum(self, key):
+        ov, _ = random_overlay(64, seed=7)
+        res = ov.route(ov.ring.at(0), key)
+        assert res.home == ov.home(key)
+
+
+class TestStabilize:
+    def test_stabilize_rebuilds_over_live_nodes(self):
+        ov, rng = random_overlay(100, seed=8)
+        dead = [ov.ring.at(i) for i in range(0, 100, 2)]
+        ov.network.fail_nodes(dead)
+        ov.stabilize()
+        for _ in range(30):
+            key = int(rng.integers(0, ov.space.modulus))
+            origin = ov.ring.at(1)  # odd index: alive
+            if not ov.network.is_alive(origin):
+                continue
+            res = ov.route(origin, key)
+            assert res.home == ov.live_home(key)
+            assert res.succeeded
+
+    def test_membership_change_resets_view(self):
+        ov, _ = random_overlay(20, seed=9)
+        ov.network.fail_nodes([ov.ring.at(0)])
+        ov.stabilize()
+        ov.add_node(12345 if 12345 not in ov.ring else 12346)
+        # After a registration the full ring is the view again.
+        assert ov._view is ov.ring
+
+
+class TestNeighborOrder:
+    def test_closest_neighbors_linear(self):
+        ov = make_overlay([10, 20, 30, 50, 90])
+        out = list(ov.closest_neighbors(30))
+        # Distances from 30: 20→10, 10→20, 50→20 (tie upward first), 90→60.
+        assert out == [20, 50, 10, 90]
+
+    def test_closest_neighbors_skips_dead(self):
+        ov = make_overlay([10, 20, 30])
+        ov.node(20).fail()
+        assert list(ov.closest_neighbors(10)) == [30]
+
+    def test_replica_homes(self):
+        ov = make_overlay([10, 20, 30, 40])
+        homes = ov.replica_homes(20, 2)
+        assert len(homes) == 2
+        assert 20 not in homes

@@ -1,0 +1,199 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import CancelledError, Simulator
+
+
+class TestScheduling:
+    def test_initial_state(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+        assert sim.events_fired == 0
+
+    def test_single_event_fires_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+        assert sim.now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.5]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(2.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+
+class TestRunControl:
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1, 2]
+        assert sim.pending == 1
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_on_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_fires_one(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_double_cancel_raises(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        with pytest.raises(CancelledError):
+            ev.cancel()
+
+    def test_cancelled_excluded_from_pending(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        ev.cancel()
+        assert sim.pending == 1
+
+    def test_handle_exposes_time_and_state(self):
+        sim = Simulator()
+        ev = sim.schedule(4.0, lambda: None)
+        assert ev.time == 4.0
+        assert not ev.cancelled
+        ev.cancel()
+        assert ev.cancelled
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_custom_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(2.0, lambda: ticks.append(sim.now), start_after=0.5)
+        sim.run(until=5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_stop_halts_future_firings(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.schedule_every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.0)
+        task.stop()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert task.stopped
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        task = sim.schedule_every(1.0, lambda: task.stop())
+        sim.run(until=10.0)
+        assert task.fire_count == 1
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_every(0.0, lambda: None)
+
+    def test_fire_count(self):
+        sim = Simulator()
+        task = sim.schedule_every(1.0, lambda: None)
+        sim.run(until=4.0)
+        assert task.fire_count == 4
+
+
+class TestDeterminism:
+    def test_identical_runs_fire_identically(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            for i in range(50):
+                sim.schedule((i * 7) % 13 + 0.25, lambda i=i: log.append((i, sim.now)))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,124 @@
+"""Unit tests for failure/churn injection."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.failures import ChurnProcess, fail_fraction
+from repro.sim.network import Network
+from repro.sim.node import PeerNode
+
+
+def make_network(n: int = 100) -> Network:
+    net = Network()
+    for i in range(n):
+        net.add_node(PeerNode(i))
+    return net
+
+
+class TestFailFraction:
+    def test_fails_requested_fraction(self):
+        net = make_network(100)
+        failed = fail_fraction(net, 0.3, np.random.default_rng(1))
+        assert len(failed) == 30
+        assert net.alive_count() == 70
+
+    def test_zero_fraction_noop(self):
+        net = make_network(10)
+        assert fail_fraction(net, 0.0, np.random.default_rng(1)) == []
+        assert net.alive_count() == 10
+
+    def test_full_fraction_kills_everyone(self):
+        net = make_network(10)
+        fail_fraction(net, 1.0, np.random.default_rng(1))
+        assert net.alive_count() == 0
+
+    def test_spare_set_respected(self):
+        net = make_network(20)
+        spare = {0, 1, 2}
+        fail_fraction(net, 1.0, np.random.default_rng(2), spare=spare)
+        for nid in spare:
+            assert net.is_alive(nid)
+        assert net.alive_count() == 3
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            fail_fraction(make_network(5), 1.5, np.random.default_rng(0))
+
+    def test_deterministic_under_seed(self):
+        a = fail_fraction(make_network(50), 0.4, np.random.default_rng(7))
+        b = fail_fraction(make_network(50), 0.4, np.random.default_rng(7))
+        assert a == b
+
+    def test_applies_to_alive_population_only(self):
+        net = make_network(100)
+        fail_fraction(net, 0.5, np.random.default_rng(1))
+        fail_fraction(net, 0.5, np.random.default_rng(2))
+        assert net.alive_count() == 25
+
+
+class TestChurnProcess:
+    def test_departures_happen_at_rate(self):
+        sim = Simulator()
+        net = make_network(50)
+        churn = ChurnProcess(
+            sim, net, np.random.default_rng(3), depart_rate=1.0
+        )
+        churn.start()
+        sim.run(until=20.0)
+        assert churn.stats.departures > 5
+        assert net.alive_count() == 50 - churn.stats.departures
+
+    def test_arrival_hook_runs(self):
+        sim = Simulator()
+        net = make_network(5)
+        hits = []
+        churn = ChurnProcess(
+            sim,
+            net,
+            np.random.default_rng(4),
+            arrive_rate=2.0,
+            on_arrive=lambda: hits.append(sim.now),
+        )
+        churn.start()
+        sim.run(until=10.0)
+        assert len(hits) == churn.stats.arrivals
+        assert len(hits) > 3
+
+    def test_depart_hook_gets_victim(self):
+        sim = Simulator()
+        net = make_network(30)
+        victims = []
+        churn = ChurnProcess(
+            sim,
+            net,
+            np.random.default_rng(5),
+            depart_rate=1.0,
+            on_depart=victims.append,
+        )
+        churn.start()
+        sim.run(until=5.0)
+        for v in victims:
+            assert not net.is_alive(v)
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        net = make_network(30)
+        churn = ChurnProcess(sim, net, np.random.default_rng(6), depart_rate=1.0)
+        churn.start()
+        sim.run(until=3.0)
+        count = churn.stats.departures
+        churn.stop()
+        sim.run(until=30.0)
+        assert churn.stats.departures == count
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        churn = ChurnProcess(sim, make_network(3), np.random.default_rng(0), depart_rate=1.0)
+        churn.start()
+        with pytest.raises(RuntimeError):
+            churn.start()
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnProcess(Simulator(), make_network(3), np.random.default_rng(0), depart_rate=-1)

@@ -1,0 +1,42 @@
+"""Unit tests for the CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "fig7", "--scale", "0.5"])
+        assert args.experiment == "fig7"
+        assert args.scale == 0.5
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert set(out) == set(ALL_EXPERIMENTS)
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_small_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "finished in" in out
+
+    def test_scale_flag_sets_env(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert main(["run", "table1", "--scale", "0.02"]) == 0
+        assert os.environ["REPRO_SCALE"] == "0.02"

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs clean end to end.
+
+Examples are the adoption surface; a broken one is a broken deliverable.
+Each runs in a subprocess with the repo's interpreter, bounded in time.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "digital_library.py",
+        "resource_discovery.py",
+        "compare_baselines.py",
+        "extensions_tour.py",
+        "text_search.py",
+    } <= names

@@ -1,0 +1,175 @@
+"""Cross-module integration tests: the full pipeline, end to end.
+
+These exercise the same flows the paper's evaluation runs, at small
+scale, asserting *global invariants* rather than per-module behaviour:
+conservation of items, recall against ground truth, scheme-independent
+correctness, and determinism of a complete experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PlacementScheme
+from repro.workload import (
+    keyword_ground_truth,
+    keyword_query,
+    multi_keyword_query,
+    nth_popular_keyword,
+)
+
+
+@pytest.fixture(autouse=True)
+def _bind_builder(build_system_fn):
+    globals()["build_small_system"] = build_system_fn
+
+
+ALL_SCHEMES = (
+    PlacementScheme.NONE,
+    PlacementScheme.UNUSED_HASH,
+    PlacementScheme.UNUSED_HASH_HOT,
+)
+
+
+class TestEveryScheme:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+    def test_publish_find_roundtrip(self, tiny_trace, rng, scheme):
+        system = build_small_system(tiny_trace, n_nodes=60, scheme=scheme)
+        system.publish_corpus(tiny_trace.corpus, rng)
+        misses = [
+            i
+            for i in range(tiny_trace.corpus.n_items)
+            if not system.find(system.random_origin(rng), i).found
+        ]
+        assert misses == []
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+    def test_items_conserved(self, tiny_trace, rng, scheme):
+        system = build_small_system(tiny_trace, n_nodes=60, scheme=scheme)
+        system.publish_corpus(tiny_trace.corpus, rng)
+        assert system.network.total_items() == tiny_trace.corpus.n_items
+
+
+class TestCapacityPressure:
+    def test_displacement_conserves_items_under_8c(self, tiny_trace, rng):
+        n_nodes = 40
+        cap = max(1, int(8 * tiny_trace.corpus.n_items / n_nodes))
+        system = build_small_system(
+            tiny_trace, n_nodes=n_nodes, node_capacity=cap
+        )
+        results = system.publish_corpus(tiny_trace.corpus, rng)
+        dropped = sum(1 for r in results if not r.success)
+        assert system.network.total_items() == tiny_trace.corpus.n_items - dropped
+        assert dropped == 0  # total capacity is 8× the corpus
+
+    def test_no_node_exceeds_capacity(self, tiny_trace, rng):
+        system = build_small_system(tiny_trace, n_nodes=40, node_capacity=30)
+        system.publish_corpus(tiny_trace.corpus, rng)
+        for node in system.network.nodes():
+            assert len(node) <= 30
+
+
+class TestSimilaritySearchRecall:
+    def test_keyword_recall_with_walk(self, small_trace, populated_system, rng):
+        kw = nth_popular_keyword(small_trace.corpus, 5, max_matches=100)
+        gt = keyword_ground_truth(small_trace.corpus, [kw])
+        assert gt.total > 0
+        q = keyword_query(small_trace, [kw])
+        res = populated_system.retrieve(
+            populated_system.random_origin(rng), q, None,
+            require_all=[kw], use_first_hop=True, patience=50,
+        )
+        assert res.found >= 0.9 * gt.total
+        assert set(res.item_ids()) <= set(int(i) for i in gt.matching_items)
+
+    def test_multi_keyword_finds_source_item(self, small_trace, populated_system, rng):
+        q, src = multi_keyword_query(small_trace, rng, n_keywords=4)
+        res = populated_system.retrieve(
+            populated_system.random_origin(rng), q, None,
+            require_all=[int(i) for i in q.indices],
+            use_first_hop=True, patience=50,
+        )
+        assert src in res.item_ids()
+
+    def test_discovered_items_actually_match(self, small_trace, populated_system, rng):
+        kw = nth_popular_keyword(small_trace.corpus, 3, max_matches=100)
+        q = keyword_query(small_trace, [kw])
+        res = populated_system.retrieve(
+            populated_system.random_origin(rng), q, None,
+            require_all=[kw], use_first_hop=True, patience=50,
+        )
+        for item_id in res.item_ids():
+            assert small_trace.corpus.vector(item_id).contains_all([kw])
+
+
+class TestPointersEquivalence:
+    def test_pointer_and_walk_find_same_items(self, tiny_trace, rng):
+        kw = nth_popular_keyword(tiny_trace.corpus, 2, max_matches=60)
+        gt = keyword_ground_truth(tiny_trace.corpus, [kw])
+        q = keyword_query(tiny_trace, [kw])
+
+        walk_sys = build_small_system(tiny_trace, n_nodes=60, seed=8)
+        ptr_sys = build_small_system(
+            tiny_trace, n_nodes=60, seed=8, directory_pointers=True
+        )
+        walk_sys.publish_corpus(tiny_trace.corpus, np.random.default_rng(3))
+        ptr_sys.publish_corpus(tiny_trace.corpus, np.random.default_rng(3))
+
+        walk = walk_sys.retrieve(
+            walk_sys.random_origin(rng), q, None, require_all=[kw],
+            use_first_hop=True, patience=60,
+        )
+        ptr = ptr_sys.retrieve(
+            ptr_sys.random_origin(rng), q, None, require_all=[kw],
+            use_first_hop=True, patience=60,
+        )
+        truth = set(int(i) for i in gt.matching_items)
+        assert set(walk.item_ids()) <= truth
+        assert set(ptr.item_ids()) <= truth
+        assert len(ptr.item_ids()) >= 0.9 * gt.total
+
+
+class TestFailureFailover:
+    def test_replicated_items_survive_failures(self, tiny_trace, rng):
+        system = build_small_system(
+            tiny_trace, n_nodes=80, replication_factor=4
+        )
+        system.publish_corpus(tiny_trace.corpus, rng)
+        from repro.sim.failures import fail_fraction
+
+        fail_fraction(system.network, 0.4, rng)
+        system.overlay.stabilize()
+        found = 0
+        trials = 60
+        for i in range(trials):
+            item = int(rng.integers(0, tiny_trace.corpus.n_items))
+            if system.find(system.random_origin(rng), item, max_walk=10).found:
+                found += 1
+        # 1 − 0.4⁴ ≈ 0.974; leave slack for routing imperfection.
+        assert found / trials > 0.85
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, tiny_trace):
+        def run():
+            system = build_small_system(tiny_trace, n_nodes=50, seed=21)
+            rng = np.random.default_rng(5)
+            system.publish_corpus(tiny_trace.corpus, rng)
+            res = system.find(system.random_origin(rng), 7)
+            return (
+                list(system.overlay.ring),
+                system.network.sink.snapshot(),
+                res.total_hops,
+            )
+
+        assert run() == run()
+
+
+class TestChordPortability:
+    def test_full_pipeline_on_chord(self, tiny_trace, rng):
+        system = build_small_system(
+            tiny_trace, n_nodes=60, overlay_kind="chord"
+        )
+        system.publish_corpus(tiny_trace.corpus, rng)
+        assert system.network.total_items() == tiny_trace.corpus.n_items
+        for i in range(0, tiny_trace.corpus.n_items, 37):
+            assert system.find(system.random_origin(rng), i).found

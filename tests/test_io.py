@@ -1,0 +1,80 @@
+"""Unit tests for result persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import RowSet
+from repro.io import read_rowset_csv, write_manifest, write_rowset
+
+
+def sample_rowset():
+    rs = RowSet("Figure X — demo", ("n", "hops"))
+    rs.add(100, 3.5)
+    rs.add(200, 4.0)
+    rs.notes["scheme"] = "hot"
+    rs.elapsed_s = 1.25
+    return rs
+
+
+class TestWriteRowset:
+    def test_csv_round_trip(self, tmp_path):
+        csv_path, _ = write_rowset(sample_rowset(), tmp_path, "figX")
+        headers, rows = read_rowset_csv(csv_path)
+        assert headers == ("n", "hops")
+        assert rows == [("100", "3.5"), ("200", "4.0")]
+
+    def test_json_payload(self, tmp_path):
+        _, json_path = write_rowset(sample_rowset(), tmp_path, "figX")
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "Figure X — demo"
+        assert payload["rows"] == [[100, 3.5], [200, 4.0]]
+        assert payload["notes"] == {"scheme": "hot"}
+        assert payload["elapsed_s"] == 1.25
+
+    def test_slug_sanitised(self, tmp_path):
+        csv_path, _ = write_rowset(sample_rowset(), tmp_path, "Fig 10(a)!")
+        assert csv_path.name == "fig-10-a.csv"
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        write_rowset(sample_rowset(), target, "x")
+        assert (target / "x.csv").exists()
+
+    def test_non_jsonable_notes_stringified(self, tmp_path):
+        rs = sample_rowset()
+        rs.notes["weird"] = {1, 2}
+        _, json_path = write_rowset(rs, tmp_path, "figY")
+        payload = json.loads(json_path.read_text())
+        assert isinstance(payload["notes"]["weird"], str)
+
+
+class TestManifest:
+    def test_manifest_indexes_entries(self, tmp_path):
+        entries = {"figX": sample_rowset(), "figY": sample_rowset()}
+        for name, rs in entries.items():
+            write_rowset(rs, tmp_path, name)
+        path = write_manifest(tmp_path, entries)
+        manifest = json.loads(path.read_text())
+        assert set(manifest) == {"figX", "figY"}
+        assert manifest["figX"]["csv"] == "figx.csv"
+        assert manifest["figX"]["rows"] == 2
+
+
+class TestReadErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            read_rowset_csv(p)
+
+
+class TestCliOut:
+    def test_run_with_out_writes_files(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(["run", "table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "manifest.json").exists()
+        assert "results written" in capsys.readouterr().out

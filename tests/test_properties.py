@@ -1,0 +1,199 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants.
+
+These complement the per-module property tests: each one states an
+invariant of the *composed* system — routing correctness under
+arbitrary membership and failures, conservation under displacement,
+order preservation through the naming pipeline — and lets hypothesis
+hunt for counterexamples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.meteorograph import Meteorograph, MeteorographConfig, PlacementScheme
+from repro.core.naming import CdfEqualizer, Knee
+from repro.core.publish import run_displacement_chain
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.idspace import KeySpace
+from repro.overlay.tornado import TornadoOverlay
+from repro.sim.network import Network
+from repro.sim.node import StoredItem
+
+SPACE = KeySpace(1 << 14)
+
+node_sets = st.sets(
+    st.integers(0, SPACE.modulus - 1), min_size=2, max_size=40
+)
+keys = st.integers(0, SPACE.modulus - 1)
+
+
+def build_tornado(members):
+    overlay = TornadoOverlay(SPACE, Network())
+    for nid in sorted(members):
+        overlay.add_node(nid)
+    return overlay
+
+
+def build_chord(members):
+    overlay = ChordOverlay(SPACE, Network())
+    for nid in sorted(members):
+        overlay.add_node(nid)
+    return overlay
+
+
+class TestRoutingInvariants:
+    @given(members=node_sets, key=keys, origin_seed=st.integers(0, 10**6))
+    @settings(max_examples=150, deadline=None)
+    def test_tornado_route_reaches_ring_closest(self, members, key, origin_seed):
+        overlay = build_tornado(members)
+        origin = sorted(members)[origin_seed % len(members)]
+        res = overlay.route(origin, key)
+        assert res.home == overlay.ring.closest(key)
+        assert res.path[0] == origin
+        assert res.path[-1] == res.home
+        # No revisits: strict-descent routing cannot loop.
+        assert len(res.path) == len(set(res.path))
+
+    @given(members=node_sets, key=keys, origin_seed=st.integers(0, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_chord_route_reaches_successor(self, members, key, origin_seed):
+        overlay = build_chord(members)
+        origin = sorted(members)[origin_seed % len(members)]
+        res = overlay.route(origin, key)
+        assert res.home == overlay.ring.successor(key)
+
+    @given(
+        members=st.sets(st.integers(0, SPACE.modulus - 1), min_size=4, max_size=40),
+        key=keys,
+        kill_seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_stabilized_route_reaches_live_home(self, members, key, kill_seed):
+        overlay = build_tornado(members)
+        ordered = sorted(members)
+        rng = np.random.default_rng(kill_seed)
+        kill = rng.choice(len(ordered), size=len(ordered) // 2, replace=False)
+        for i in kill:
+            overlay.node(ordered[i]).fail()
+        overlay.stabilize()
+        live = [n for n in ordered if overlay.network.is_alive(n)]
+        if not live:
+            return
+        res = overlay.route(live[0], key)
+        assert res.home == overlay.live_home(key)
+        for hop in res.path:
+            assert overlay.network.is_alive(hop)
+
+
+class TestDisplacementInvariants:
+    @given(
+        capacity=st.integers(1, 4),
+        item_keys=st.lists(keys, min_size=1, max_size=30),
+    )
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_conservation_and_capacity(self, capacity, item_keys):
+        members = list(range(0, SPACE.modulus, SPACE.modulus // 12))[:12]
+        network = Network()
+        overlay = TornadoOverlay(SPACE, network)
+        system = Meteorograph(
+            space=SPACE,
+            network=network,
+            overlay=overlay,
+            dim=8,
+            config=MeteorographConfig(
+                scheme=PlacementScheme.NONE, node_capacity=capacity
+            ),
+            equalizer=None,
+        )
+        for nid in members:
+            overlay.add_node(nid, capacity=capacity)
+        dropped = 0
+        for i, k in enumerate(item_keys):
+            item = StoredItem(i, k, k, np.array([1]), np.array([1.0]))
+            home = overlay.home(k)
+            res = run_displacement_chain(system, home, item)
+            dropped += 0 if res.success else 1
+        # Conservation: stored + dropped == published.
+        assert network.total_items() + dropped == len(item_keys)
+        # Capacity: never exceeded anywhere.
+        for node in network.nodes():
+            assert len(node) <= capacity
+        # Drops only happen when the whole overlay is full.
+        if dropped:
+            assert network.total_items() == capacity * len(members)
+
+    @given(item_keys=st.lists(keys, min_size=2, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_each_item_stored_exactly_once(self, item_keys):
+        members = list(range(0, SPACE.modulus, SPACE.modulus // 10))[:10]
+        network = Network()
+        overlay = TornadoOverlay(SPACE, network)
+        system = Meteorograph(
+            space=SPACE, network=network, overlay=overlay, dim=8,
+            config=MeteorographConfig(scheme=PlacementScheme.NONE, node_capacity=2),
+            equalizer=None,
+        )
+        for nid in members:
+            overlay.add_node(nid, capacity=2)
+        for i, k in enumerate(item_keys):
+            item = StoredItem(i, k, k, np.array([1]), np.array([1.0]))
+            run_displacement_chain(system, overlay.home(k), item)
+        holders: dict[int, int] = {}
+        for node in network.nodes():
+            for item in node.items():
+                holders[item.item_id] = holders.get(item.item_id, 0) + 1
+        assert all(count == 1 for count in holders.values())
+
+
+class TestNamingPipelineInvariants:
+    @st.composite
+    def equalizers(draw):
+        n = draw(st.integers(0, 5))
+        interior = sorted(
+            draw(
+                st.lists(
+                    st.tuples(
+                        st.floats(0.01, 0.99), st.integers(1, SPACE.modulus - 1)
+                    ),
+                    min_size=n,
+                    max_size=n,
+                    unique_by=lambda t: t[1],
+                )
+            ),
+            key=lambda t: t[1],
+        )
+        a_vals = sorted(t[0] for t in interior)
+        knees = [Knee(0.0, 0)]
+        for a, (_, b) in zip(a_vals, interior):
+            knees.append(Knee(a, b))
+        knees.append(Knee(1.0, SPACE.modulus))
+        return CdfEqualizer(knees, SPACE)
+
+    @given(eq=equalizers(), ks=st.lists(keys, min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_equalizer_monotone_for_random_knees(self, eq, ks):
+        ks = sorted(ks)
+        out = [eq.remap(k) for k in ks]
+        assert out == sorted(out)
+        batch = eq.remap_many(np.array(ks))
+        assert list(batch) == out
+
+    @given(
+        weights=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=8),
+        bump=st.floats(1e-6, 1e-4),
+        idx=st.integers(0, 7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_absolute_angle_is_lipschitz_in_weights(self, weights, bump, idx):
+        """Tiny weight perturbations move θ only a tiny amount — the
+        continuity that makes 'similar items get nearby keys' true."""
+        from repro.core.angles import absolute_angle_from_arrays
+
+        arr = np.array(weights)
+        theta = absolute_angle_from_arrays(arr, 64)
+        arr2 = arr.copy()
+        arr2[idx % arr.size] *= 1.0 + bump
+        theta2 = absolute_angle_from_arrays(arr2, 64)
+        assert abs(theta - theta2) < 1e-2

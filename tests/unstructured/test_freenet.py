@@ -1,0 +1,99 @@
+"""Unit tests for the Freenet DFS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.idspace import KeySpace
+from repro.unstructured.freenet import FreenetOverlay
+
+SPACE = KeySpace(10_000)
+
+
+def make(n=40, seed=0, **kwargs):
+    return FreenetOverlay(n, SPACE, rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestStore:
+    def test_store_and_has(self):
+        ov = make()
+        ov.store(3, key=100, item_id=7)
+        assert ov.has_key(3, 100)
+        assert not ov.has_key(3, 101)
+        assert not ov.has_key(4, 100)
+
+    def test_cache_eviction_fifo(self):
+        ov = make(cache_size=2)
+        ov.store(1, 10, 0)
+        ov.store(1, 20, 1)
+        ov.store(1, 30, 2)
+        assert not ov.has_key(1, 10)
+        assert ov.has_key(1, 20) and ov.has_key(1, 30)
+
+
+class TestSearch:
+    def test_finds_stored_key(self):
+        ov = make()
+        ov.store(25, key=500, item_id=1)
+        res = ov.search(0, 500, ttl=40)
+        assert res.found
+        assert res.holder == 25
+        assert res.messages > 0
+
+    def test_origin_holding_key_is_free(self):
+        ov = make()
+        ov.store(0, key=500, item_id=1)
+        res = ov.search(0, 500)
+        assert res.found and res.messages == 0
+
+    def test_ttl_bounds_search(self):
+        ov = make(80, seed=3)
+        ov.store(79, key=123, item_id=1)
+        res = ov.search(0, 123, ttl=1)
+        # With ttl=1, only direct neighbors reachable — likely a miss.
+        assert res.depth_reached <= 1
+
+    def test_missing_key_not_found(self):
+        ov = make()
+        res = ov.search(0, 999, ttl=10)
+        assert not res.found
+        assert res.holder is None
+
+    def test_ttl_validated(self):
+        with pytest.raises(ValueError):
+            make().search(0, 1, ttl=0)
+
+    def test_caching_on_success_path(self):
+        ov = make(seed=5)
+        ov.store(30, key=700, item_id=2)
+        first = ov.search(0, 700, ttl=40)
+        assert first.found
+        if len(first.path) > 1:
+            # Path nodes now cache the key.
+            assert ov.has_key(first.path[0], 700)
+            second = ov.search(first.path[0], 700, ttl=40)
+            assert second.messages == 0
+
+    def test_caching_disabled(self):
+        ov = make(seed=6)
+        ov.store(30, key=700, item_id=2)
+        res = ov.search(0, 700, ttl=40, cache_on_return=False)
+        if res.found and len(res.path) > 1:
+            assert not ov.has_key(res.path[0], 700)
+
+    def test_specialization_drifts_toward_served_keys(self):
+        ov = make(seed=7)
+        ov.store(30, key=700, item_id=2)
+        before = dict(ov.specialization)
+        res = ov.search(0, 700, ttl=40)
+        if res.found and len(res.path) > 1:
+            moved = [n for n in res.path[:-1] if ov.specialization[n] != before[n]]
+            assert moved
+            for n in moved:
+                assert SPACE.ring_distance(ov.specialization[n], 700) <= SPACE.ring_distance(before[n], 700)
+
+    def test_messages_charged_to_sink(self):
+        ov = make(seed=8)
+        ov.store(20, key=300, item_id=1)
+        before = ov.sink.count("dfs")
+        res = ov.search(0, 300, ttl=30)
+        assert ov.sink.count("dfs") - before == res.messages

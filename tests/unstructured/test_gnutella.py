@@ -1,0 +1,112 @@
+"""Unit tests for the Gnutella flooding baseline."""
+
+import numpy as np
+import pytest
+
+from repro.unstructured.gnutella import GnutellaOverlay
+
+
+def make(n=50, seed=0, degree=4):
+    return GnutellaOverlay(n, degree=degree, rng=np.random.default_rng(seed))
+
+
+class TestConstruction:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            GnutellaOverlay(1, rng=rng)
+        with pytest.raises(ValueError):
+            GnutellaOverlay(10, degree=1, rng=rng)
+        with pytest.raises(ValueError):
+            GnutellaOverlay(10, degree=10, rng=rng)
+
+    def test_odd_degree_sum_bumped(self):
+        ov = GnutellaOverlay(5, degree=3, rng=np.random.default_rng(0))
+        assert ov.degree == 4  # 5*3 odd → bumped
+
+    def test_regular_topology(self):
+        ov = make(20, degree=4)
+        assert all(d == 4 for _, d in ov.graph.degree())
+
+
+class TestPublish:
+    def test_local_matches(self):
+        ov = make()
+        ov.publish(3, 1, [10, 20])
+        ov.publish(3, 2, [10])
+        assert ov.local_matches(3, [10]) == [1, 2]
+        assert ov.local_matches(3, [10, 20]) == [1]
+        assert ov.local_matches(3, [30]) == []
+        assert ov.local_matches(4, [10]) == []
+
+    def test_publish_randomly_scatters(self):
+        ov = make(50)
+        baskets = [np.array([1]) for _ in range(200)]
+        ov.publish_randomly(list(range(200)), baskets, np.random.default_rng(1))
+        assert ov.total_items() == 200
+        non_empty = sum(1 for n in range(50) if ov.local_matches(n, [1]))
+        assert non_empty > 25  # spread over many nodes
+
+
+class TestFlood:
+    def build_published(self):
+        ov = make(60, seed=2)
+        baskets = [np.array([7]) if i % 3 == 0 else np.array([9]) for i in range(90)]
+        ov.publish_randomly(list(range(90)), baskets, np.random.default_rng(3))
+        return ov
+
+    def test_unbounded_flood_finds_everything(self):
+        ov = self.build_published()
+        res = ov.flood(0, [7])
+        assert len(res.found) == 30
+        assert res.nodes_reached == 60
+
+    def test_unbounded_flood_costs_about_n_times_degree(self):
+        ov = self.build_published()
+        res = ov.flood(0, [7])
+        # Every node sends to every neighbor: N·d messages total.
+        assert res.messages == 60 * 4
+
+    def test_ttl_limits_scope(self):
+        ov = self.build_published()
+        res = ov.flood(0, [7], ttl=2)
+        assert res.nodes_reached <= 1 + 4 + 4 * 3
+        assert res.messages < 60 * 4
+
+    def test_ttl_can_miss_existing_items(self):
+        ov = self.build_published()
+        full = ov.flood(0, [7])
+        limited = ov.flood(0, [7], ttl=1)
+        assert len(limited.found) < len(full.found)
+
+    def test_results_depend_on_origin(self):
+        # Non-determinism across issuers: TTL-limited floods from
+        # different origins see different subsets (§1's complaint).
+        ov = self.build_published()
+        a = {i for i, _ in ov.flood(0, [7], ttl=2).found}
+        b = {i for i, _ in ov.flood(30, [7], ttl=2).found}
+        assert a != b
+
+    def test_stop_after_early_exit(self):
+        ov = self.build_published()
+        res = ov.flood(0, [7], stop_after=5)
+        assert len(res.found) >= 5
+        assert res.messages < ov.flood(0, [7]).messages
+
+    def test_unknown_origin(self):
+        with pytest.raises(KeyError):
+            make().flood(999, [1])
+
+    def test_sink_charged(self):
+        ov = self.build_published()
+        before = ov.sink.count("flood")
+        res = ov.flood(0, [7])
+        assert ov.sink.count("flood") - before == res.messages
+
+    def test_flood_for_vector(self):
+        from repro.vsm.sparse import SparseVector
+
+        ov = self.build_published()
+        q = SparseVector.from_mapping({7: 1.0}, 100)
+        res = ov.flood_for_vector(0, q)
+        assert len(res.found) == 30

@@ -1,0 +1,85 @@
+"""Unit tests for the per-keyword sub-overlay baseline (§1)."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.idspace import KeySpace
+from repro.unstructured.suboverlays import SubOverlayDirectory
+
+SPACE = KeySpace(10_000)
+
+
+def make(n=30, seed=0):
+    return SubOverlayDirectory(n, SPACE, rng=np.random.default_rng(seed))
+
+
+class TestPublish:
+    def test_copies_equal_keyword_count(self):
+        d = make()
+        rng = np.random.default_rng(1)
+        assert d.publish(1, [10, 20, 30], rng) == 3
+        assert d.copies_stored() == 3
+
+    def test_duplicate_keywords_deduped(self):
+        d = make()
+        assert d.publish(1, [10, 10, 20], np.random.default_rng(1)) == 2
+
+    def test_empty_keywords_rejected(self):
+        with pytest.raises(ValueError):
+            make().publish(1, [], np.random.default_rng(1))
+
+    def test_duplication_grows_with_basket_size(self):
+        d = make()
+        rng = np.random.default_rng(2)
+        for i in range(10):
+            d.publish(i, list(range(5)), rng)
+        assert d.copies_stored() == 50  # 10 items × 5 keywords
+        assert d.sub_overlay_count() == 5
+
+
+class TestQuery:
+    def build(self):
+        d = make()
+        rng = np.random.default_rng(3)
+        d.publish(1, [10, 20], rng)
+        d.publish(2, [10], rng)
+        d.publish(3, [20, 30], rng)
+        return d
+
+    def test_conjunction_correct(self):
+        res = self.build().query([10, 20])
+        assert res.matches == [1]
+
+    def test_transfer_waste_counted(self):
+        res = self.build().query([10, 20])
+        # keyword 10 ships items {1,2}, keyword 20 ships {1,3} → 4 transfers,
+        # only 1 final match → 3 wasted.
+        assert res.items_transferred == 4
+        assert res.transfer_waste == 3
+
+    def test_messages_include_routing(self):
+        res = self.build().query([10, 20])
+        assert res.messages == res.route_messages + res.items_transferred
+        assert res.route_messages >= 2
+
+    def test_unknown_keyword_empty(self):
+        res = self.build().query([99])
+        assert res.matches == []
+        assert res.items_transferred == 0
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            self.build().query([])
+
+
+class TestMaintenance:
+    def test_maintenance_load_counts_memberships(self):
+        d = make(n=5, seed=4)
+        rng = np.random.default_rng(5)
+        for i in range(20):
+            d.publish(i, [i % 7], rng)
+        load = d.maintenance_load()
+        assert sum(load.values()) == sum(
+            len(d._members[k]) for k in d._members
+        )
+        assert max(load.values()) >= 1

@@ -1,0 +1,80 @@
+"""Unit tests for keyword dictionaries (§3.7)."""
+
+import pytest
+
+from repro.vsm.dictionary import Dictionary, DictionaryFullError
+
+
+class TestGrowable:
+    def test_register_assigns_sequential_ids(self):
+        d = Dictionary()
+        assert d.register("a") == 0
+        assert d.register("b") == 1
+        assert d.register("a") == 0  # idempotent
+
+    def test_dim_tracks_registrations(self):
+        d = Dictionary()
+        assert d.dim == 1  # never zero-dimensional
+        d.register("a")
+        d.register("b")
+        assert d.dim == 2
+
+    def test_generation_bumps_on_growth(self):
+        d = Dictionary()
+        g0 = d.generation
+        d.register("a")
+        assert d.generation > g0
+        g1 = d.generation
+        d.register("a")
+        assert d.generation == g1  # re-register: no growth
+
+    def test_lookup(self):
+        d = Dictionary.from_words(["x", "y"])
+        assert d.id_of("y") == 1
+        assert d.word_of(0) == "x"
+        assert d.ids_of(["y", "x"]) == [1, 0]
+        with pytest.raises(KeyError):
+            d.id_of("z")
+        with pytest.raises(KeyError):
+            d.word_of(5)
+
+    def test_container_protocol(self):
+        d = Dictionary.from_words(["x", "y"])
+        assert "x" in d and "z" not in d
+        assert len(d) == 2
+        assert list(d) == ["x", "y"]
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            Dictionary().register("")
+
+
+class TestUniversal:
+    def test_dim_fixed_regardless_of_registrations(self):
+        d = Dictionary.universal(100)
+        assert d.dim == 100
+        d.register("a")
+        assert d.dim == 100
+        assert d.n_registered == 1
+
+    def test_generation_stable(self):
+        d = Dictionary.universal(10)
+        g = d.generation
+        d.register("a")
+        assert d.generation == g  # dim never changes → no republish signal
+
+    def test_capacity_enforced(self):
+        d = Dictionary.universal(2)
+        d.register("a")
+        d.register("b")
+        with pytest.raises(DictionaryFullError):
+            d.register("c")
+        assert d.register("a") == 0  # existing still fine
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Dictionary.universal(0)
+
+    def test_is_universal_flag(self):
+        assert Dictionary.universal(5).is_universal
+        assert not Dictionary().is_universal

@@ -1,0 +1,152 @@
+"""Unit tests for the per-node local VSM index."""
+
+import numpy as np
+import pytest
+
+from repro.sim.node import StoredItem
+from repro.vsm.index import LocalVsmIndex
+from repro.vsm.sparse import SparseVector
+
+DIM = 20
+
+
+def item(item_id, mapping):
+    ids = np.array(sorted(mapping), dtype=np.int64)
+    w = np.array([mapping[i] for i in ids], dtype=np.float64)
+    return StoredItem(item_id, 0, 0, ids, w)
+
+
+def query(mapping):
+    return SparseVector.from_mapping(mapping, DIM)
+
+
+class TestMaintenance:
+    def test_add_and_len(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(1, {0: 1.0}))
+        idx.add(item(2, {1: 1.0}))
+        assert len(idx) == 2
+        assert 1 in idx and 3 not in idx
+
+    def test_re_add_replaces(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(1, {0: 1.0}))
+        idx.add(item(1, {5: 2.0}))
+        assert len(idx) == 1
+        hits = idx.query(query({5: 1.0}))
+        assert [h.item.item_id for h in hits] == [1]
+        assert idx.query(query({0: 1.0})) == []
+
+    def test_remove_cleans_postings(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(1, {0: 1.0, 3: 1.0}))
+        removed = idx.remove(1)
+        assert removed.item_id == 1
+        assert len(idx) == 0
+        assert idx.query(query({0: 1.0})) == []
+        with pytest.raises(KeyError):
+            idx.remove(1)
+
+    def test_rebuild(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(1, {0: 1.0}))
+        idx.rebuild([item(2, {1: 1.0}), item(3, {1: 1.0})])
+        assert len(idx) == 2
+        assert 1 not in idx
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            LocalVsmIndex(0)
+
+
+class TestQuery:
+    def build(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(1, {0: 1.0, 1: 1.0}))
+        idx.add(item(2, {0: 1.0}))
+        idx.add(item(3, {5: 1.0}))
+        idx.add(item(4, {0: 1.0, 1: 1.0, 2: 1.0}))
+        return idx
+
+    def test_ranking_matches_bruteforce_cosine(self):
+        idx = self.build()
+        q = query({0: 1.0, 1: 1.0})
+        hits = idx.query(q)
+        got = [(h.item.item_id, h.score) for h in hits]
+        # Brute force over all items.
+        def cos(m):
+            v = SparseVector.from_mapping(m, DIM)
+            return v.cosine(q)
+
+        expect = sorted(
+            [
+                (1, cos({0: 1.0, 1: 1.0})),
+                (2, cos({0: 1.0})),
+                (4, cos({0: 1.0, 1: 1.0, 2: 1.0})),
+            ],
+            key=lambda t: (-t[1], t[0]),
+        )
+        assert [i for i, _ in got] == [i for i, _ in expect]
+        for (gi, gs), (ei, es) in zip(got, expect):
+            assert gs == pytest.approx(es)
+
+    def test_non_overlapping_items_excluded(self):
+        hits = self.build().query(query({0: 1.0}))
+        assert 3 not in [h.item.item_id for h in hits]
+
+    def test_limit(self):
+        assert len(self.build().query(query({0: 1.0}), limit=2)) == 2
+
+    def test_require_all_filters(self):
+        hits = self.build().query(query({0: 1.0}), require_all=[0, 1])
+        assert sorted(h.item.item_id for h in hits) == [1, 4]
+
+    def test_min_score(self):
+        idx = self.build()
+        q = query({0: 1.0, 1: 1.0})
+        strict = idx.query(q, min_score=0.99)
+        assert [h.item.item_id for h in strict] == [1]
+
+    def test_empty_query_returns_nothing(self):
+        q = SparseVector.from_mapping({}, DIM)
+        assert self.build().query(q) == []
+
+
+class TestLeastSimilar:
+    def test_picks_lowest_cosine(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(1, {0: 1.0}))
+        idx.add(item(2, {0: 1.0, 9: 5.0}))
+        idx.add(item(3, {9: 1.0}))
+        victim = idx.least_similar(query({0: 1.0}))
+        assert victim.item_id == 3  # no overlap → score 0
+
+    def test_tie_breaks_on_lowest_id(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(5, {7: 1.0}))
+        idx.add(item(2, {8: 1.0}))
+        victim = idx.least_similar(query({0: 1.0}))
+        assert victim.item_id == 2
+
+    def test_empty_index_returns_none(self):
+        assert LocalVsmIndex(DIM).least_similar(query({0: 1.0})) is None
+
+
+class TestItemsWithAllKeywords:
+    def test_conjunction(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(1, {0: 1.0, 1: 1.0}))
+        idx.add(item(2, {0: 1.0}))
+        idx.add(item(3, {0: 1.0, 1: 1.0, 2: 1.0}))
+        hits = idx.items_with_all_keywords([0, 1])
+        assert [i.item_id for i in hits] == [1, 3]
+
+    def test_empty_keyword_list(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(1, {0: 1.0}))
+        assert idx.items_with_all_keywords([]) == []
+
+    def test_unknown_keyword(self):
+        idx = LocalVsmIndex(DIM)
+        idx.add(item(1, {0: 1.0}))
+        assert idx.items_with_all_keywords([15]) == []

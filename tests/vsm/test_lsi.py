@@ -1,0 +1,87 @@
+"""Unit tests for latent semantic indexing."""
+
+import numpy as np
+import pytest
+
+from repro.sim.node import StoredItem
+from repro.vsm.lsi import LsiIndex
+from repro.vsm.sparse import SparseVector
+
+DIM = 30
+
+
+def item(item_id, mapping):
+    ids = np.array(sorted(mapping), dtype=np.int64)
+    w = np.array([mapping[i] for i in ids], dtype=np.float64)
+    return StoredItem(item_id, 0, 0, ids, w)
+
+
+def query(mapping):
+    return SparseVector.from_mapping(mapping, DIM)
+
+
+class TestFit:
+    def test_unfitted_query_raises(self):
+        with pytest.raises(RuntimeError):
+            LsiIndex(DIM).query(query({0: 1.0}))
+
+    def test_fit_empty_is_noop(self):
+        idx = LsiIndex(DIM)
+        idx.fit([])
+        assert not idx.fitted
+
+    def test_rank_clipped_for_small_snapshots(self):
+        idx = LsiIndex(DIM, rank=16)
+        idx.fit([item(1, {0: 1.0, 1: 2.0}), item(2, {1: 1.0})])
+        assert idx.fitted
+        # Should not raise despite rank 16 > min(2 items, 2 terms).
+        idx.query(query({0: 1.0}))
+
+    def test_degenerate_single_item(self):
+        idx = LsiIndex(DIM, rank=4)
+        idx.fit([item(1, {0: 1.0})])
+        hits = idx.query(query({0: 1.0}))
+        assert hits and hits[0][0] == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LsiIndex(0)
+        with pytest.raises(ValueError):
+            LsiIndex(DIM, rank=0)
+
+
+class TestQuery:
+    def build(self):
+        # Two latent "topics": {0,1,2} and {10,11,12}.
+        items = [
+            item(1, {0: 1.0, 1: 1.0}),
+            item(2, {1: 1.0, 2: 1.0}),
+            item(3, {0: 1.0, 2: 1.0}),
+            item(4, {10: 1.0, 11: 1.0}),
+            item(5, {11: 1.0, 12: 1.0}),
+        ]
+        idx = LsiIndex(DIM, rank=2)
+        idx.fit(items)
+        return idx
+
+    def test_exact_term_query_prefers_its_topic(self):
+        hits = self.build().query(query({0: 1.0}))
+        top3 = [i for i, _ in hits[:3]]
+        assert set(top3) == {1, 2, 3}
+
+    def test_latent_generalisation_across_cooccurring_terms(self):
+        # Query term 1 only; item 3 shares no literal term with the
+        # query but lives in the same latent topic.
+        hits = dict(self.build().query(query({1: 1.0})))
+        assert hits[3] > hits.get(4, -1.0)
+        assert hits[3] > 0.3
+
+    def test_limit(self):
+        assert len(self.build().query(query({0: 1.0}), limit=2)) == 2
+
+    def test_unknown_terms_give_empty(self):
+        assert self.build().query(query({25: 1.0})) == []
+
+    def test_scores_sorted_descending(self):
+        scores = [s for _, s in self.build().query(query({0: 1.0, 1: 1.0}))]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,208 @@
+"""Unit + property tests for sparse vectors and corpora."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vsm.sparse import Corpus, SparseVector
+
+DIM = 50
+
+
+def vec(mapping, dim=DIM):
+    return SparseVector.from_mapping(mapping, dim)
+
+
+@st.composite
+def sparse_vectors(draw, dim=DIM, max_nnz=8):
+    n = draw(st.integers(min_value=0, max_value=max_nnz))
+    idx = draw(
+        st.lists(st.integers(0, dim - 1), min_size=n, max_size=n, unique=True)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return SparseVector.from_pairs(zip(idx, vals), dim)
+
+
+class TestSparseVectorValidation:
+    def test_unsorted_indices_rejected(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.array([3, 1]), np.array([1.0, 1.0]), DIM)
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.array([1, 1]), np.array([1.0, 1.0]), DIM)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.array([DIM]), np.array([1.0]), DIM)
+        with pytest.raises(ValueError):
+            SparseVector(np.array([-1]), np.array([1.0]), DIM)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.array([1]), np.array([0.0]), DIM)
+        with pytest.raises(ValueError):
+            SparseVector(np.array([1]), np.array([-2.0]), DIM)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.array([1, 2]), np.array([1.0]), DIM)
+
+    def test_from_pairs_sums_duplicates(self):
+        v = SparseVector.from_pairs([(3, 1.0), (3, 2.0), (1, 1.0)], DIM)
+        assert v.weight_of(3) == 3.0
+        assert v.nnz == 2
+
+    def test_binary_constructor(self):
+        v = SparseVector.binary([4, 2, 2], DIM)
+        assert v.nnz == 2
+        assert v.weight_of(2) == 2.0  # duplicate summed
+
+
+class TestSparseVectorOps:
+    def test_norm(self):
+        assert vec({0: 3.0, 1: 4.0}).norm() == pytest.approx(5.0)
+        assert vec({}).norm() == 0.0
+
+    def test_dot_disjoint_is_zero(self):
+        assert vec({0: 1.0}).dot(vec({1: 1.0})) == 0.0
+
+    def test_dot_overlap(self):
+        assert vec({0: 2.0, 3: 1.0}).dot(vec({3: 4.0, 9: 5.0})) == pytest.approx(4.0)
+
+    def test_dot_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            vec({0: 1.0}).dot(vec({0: 1.0}, dim=DIM + 1))
+
+    def test_cosine_identical_is_one(self):
+        v = vec({1: 2.0, 5: 3.0})
+        assert v.cosine(v) == pytest.approx(1.0)
+
+    def test_cosine_zero_vector_is_zero(self):
+        assert vec({}).cosine(vec({1: 1.0})) == 0.0
+
+    def test_contains_all(self):
+        v = vec({1: 1.0, 2: 1.0, 3: 1.0})
+        assert v.contains_all([1, 3])
+        assert not v.contains_all([1, 4])
+        assert v.contains_all([])
+
+    def test_to_dense_round_trip(self):
+        v = vec({2: 5.0, 7: 1.5})
+        dense = v.to_dense()
+        assert dense[2] == 5.0 and dense[7] == 1.5
+        assert dense.sum() == pytest.approx(6.5)
+
+    def test_scaled(self):
+        v = vec({1: 2.0}).scaled(3.0)
+        assert v.weight_of(1) == 6.0
+        with pytest.raises(ValueError):
+            v.scaled(0)
+
+    @given(sparse_vectors(), sparse_vectors())
+    @settings(max_examples=100)
+    def test_dot_symmetric_and_matches_dense(self, a, b):
+        assert a.dot(b) == pytest.approx(b.dot(a))
+        assert a.dot(b) == pytest.approx(float(a.to_dense() @ b.to_dense()), rel=1e-9)
+
+    @given(sparse_vectors())
+    @settings(max_examples=100)
+    def test_cosine_bounded(self, v):
+        w = vec({0: 1.0, 1: 2.0})
+        c = v.cosine(w)
+        assert -1e-9 <= c <= 1 + 1e-9
+
+    @given(sparse_vectors())
+    @settings(max_examples=50)
+    def test_cauchy_schwarz(self, v):
+        w = vec({0: 3.0, 5: 1.0})
+        assert abs(v.dot(w)) <= v.norm() * w.norm() + 1e-9
+
+
+class TestCorpus:
+    def make(self):
+        return Corpus.from_baskets(
+            [[0, 2], [1], [0, 1, 2], []], 4, [[1.0, 2.0], [3.0], [1.0, 1.0, 1.0], []]
+        )
+
+    def test_shape(self):
+        c = self.make()
+        assert c.n_items == 4
+        assert c.dim == 4
+        assert len(c) == 4
+
+    def test_nnz_per_item(self):
+        assert list(self.make().nnz_per_item()) == [2, 1, 3, 0]
+
+    def test_keyword_frequencies(self):
+        assert list(self.make().keyword_frequencies()) == [2, 2, 2, 0]
+
+    def test_norms(self):
+        norms = self.make().norms()
+        assert norms[0] == pytest.approx(np.sqrt(5.0))
+        assert norms[3] == 0.0
+
+    def test_vector_round_trip(self):
+        c = self.make()
+        v = c.vector(0)
+        assert list(v.indices) == [0, 2]
+        assert list(v.values) == [1.0, 2.0]
+        with pytest.raises(IndexError):
+            c.vector(4)
+
+    def test_items_with_keyword(self):
+        c = self.make()
+        assert list(c.items_with_keyword(0)) == [0, 2]
+        assert list(c.items_with_keyword(3)) == []
+        with pytest.raises(IndexError):
+            c.items_with_keyword(99)
+
+    def test_cosine_against_matches_pairwise(self):
+        c = self.make()
+        q = SparseVector.from_mapping({0: 1.0, 1: 1.0}, 4)
+        sims = c.cosine_against(q)
+        for i in range(c.n_items):
+            assert sims[i] == pytest.approx(c.vector(i).cosine(q))
+
+    def test_cosine_against_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            self.make().cosine_against(SparseVector.binary([0], 7))
+
+    def test_subsample(self):
+        sub = self.make().subsample([2, 0])
+        assert sub.n_items == 2
+        assert list(sub.vector(0).indices) == [0, 1, 2]
+
+    def test_from_vectors(self):
+        vs = [vec({0: 1.0}, 4), vec({1: 2.0}, 4)]
+        c = Corpus.from_vectors(vs)
+        assert c.n_items == 2
+        assert c.vector(1).weight_of(1) == 2.0
+
+    def test_from_vectors_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Corpus.from_vectors([vec({0: 1.0}, 4), vec({0: 1.0}, 5)])
+
+    def test_from_vectors_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Corpus.from_vectors([])
+
+    def test_nonpositive_weights_rejected(self):
+        import scipy.sparse as sp
+
+        mat = sp.csr_matrix(np.array([[1.0, -1.0], [0.0, 2.0]]))
+        with pytest.raises(ValueError):
+            Corpus(mat)
+
+    def test_row_slices(self):
+        rows = list(self.make().row_slices())
+        assert rows[0][0] == 0
+        assert list(rows[0][1]) == [0, 2]
+        assert rows[3][1].size == 0

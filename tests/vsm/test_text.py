@@ -1,0 +1,128 @@
+"""Unit tests for the text → vector pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.vsm.dictionary import Dictionary
+from repro.vsm.text import DEFAULT_STOPWORDS, TextVectorizer, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Peer-to-Peer Overlay Routing!") == [
+            "peer-to-peer",
+            "overlay",
+            "routing",
+        ]
+
+    def test_min_length(self):
+        assert tokenize("a bb ccc", min_length=3) == ["ccc"]
+
+    def test_numbers_kept(self):
+        assert tokenize("ipv4 2003") == ["ipv4", "2003"]
+
+    def test_apostrophes(self):
+        assert tokenize("overlay's design") == ["overlay's", "design"]
+
+    def test_empty(self):
+        assert tokenize("... !!! ??") == []
+
+
+class TestVectorizer:
+    def make(self, capacity=None):
+        return TextVectorizer(Dictionary(capacity=capacity))
+
+    def test_vector_registers_terms(self):
+        vec = self.make()
+        v = vec.vector("structured overlay routing")
+        assert v.nnz == 3
+        assert "overlay" in vec.dictionary
+
+    def test_stopwords_removed(self):
+        vec = self.make()
+        v = vec.vector("the overlay is a system")
+        words = {vec.dictionary.word_of(int(i)) for i in v.indices}
+        assert words == {"overlay", "system"}
+        assert not words & DEFAULT_STOPWORDS
+
+    def test_repeated_terms_weighted_sublinearly(self):
+        vec = self.make()
+        v = vec.vector("cache cache cache miss")
+        cache_id = vec.dictionary.id_of("cache")
+        miss_id = vec.dictionary.id_of("miss")
+        assert v.weight_of(cache_id) > v.weight_of(miss_id)
+        # Sublinear: 3 occurrences weigh less than 3×.
+        assert v.weight_of(cache_id) < 3 * v.weight_of(miss_id)
+
+    def test_fit_gives_idf_weights(self):
+        vec = self.make()
+        docs = ["overlay routing"] * 9 + ["overlay quorum"]
+        vec.fit(docs)
+        assert vec.n_documents == 10
+        common = vec.dictionary.id_of("overlay")
+        rare = vec.dictionary.id_of("quorum")
+        assert vec.idf(rare) > vec.idf(common)
+
+    def test_query_never_registers(self):
+        vec = self.make()
+        vec.fit(["overlay routing"])
+        before = len(vec.dictionary)
+        q = vec.query("overlay zebra")
+        assert len(vec.dictionary) == before
+        assert q.nnz == 1  # zebra unknown → dropped
+
+    def test_universal_dictionary_overflow_drops_new_terms(self):
+        vec = TextVectorizer(Dictionary.universal(2))
+        v1 = vec.vector("alpha beta")
+        assert v1.nnz == 2
+        v2 = vec.vector("alpha gamma")  # gamma doesn't fit
+        assert v2.nnz == 1
+
+    def test_all_stopword_document_is_zero_vector(self):
+        v = self.make().vector("the and of")
+        assert v.is_zero
+
+    def test_corpus_alignment(self):
+        vec = self.make()
+        docs = ["overlay routing", "the of and", "cache coherence"]
+        corpus = vec.corpus(docs)
+        assert corpus.n_items == 3
+        assert corpus.nnz_per_item()[1] == 0  # empty row kept, ids aligned
+
+    def test_similar_documents_have_high_cosine(self):
+        vec = self.make()
+        docs = [
+            "distributed hash table routing overlay",
+            "overlay routing with distributed hash table",
+            "gradient descent neural network training",
+        ]
+        vec.fit(docs)
+        corpus = vec.corpus(docs, register=False)
+        sims = corpus.cosine_against(corpus.vector(0))
+        assert sims[1] > 0.9
+        assert sims[2] < 0.1
+
+
+class TestEndToEnd:
+    def test_published_text_corpus_searchable(self):
+        from repro.core import Meteorograph, MeteorographConfig, PlacementScheme
+
+        vec = TextVectorizer(Dictionary.universal(512))
+        docs = [
+            "peer to peer overlay storage network",
+            "structured overlay similarity search",
+            "database transaction logging recovery",
+            "peer overlay search with similarity ranking",
+        ]
+        vec.fit(docs)
+        corpus = vec.corpus(docs, register=False)
+        rng = np.random.default_rng(0)
+        system = Meteorograph.build(
+            30, corpus.dim, rng=rng,
+            config=MeteorographConfig(scheme=PlacementScheme.NONE),
+        )
+        system.publish_corpus(corpus, rng)
+        q = vec.query("overlay similarity search")
+        res = system.retrieve(system.random_origin(rng), q, 2)
+        assert res.found >= 1
+        assert set(res.item_ids()) <= {0, 1, 3}

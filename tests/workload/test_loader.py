@@ -1,0 +1,107 @@
+"""Unit tests for real-trace loading."""
+
+import io
+
+import pytest
+
+from repro.workload.loader import baskets_to_corpus, load_basket_lines, load_pairs_csv
+
+
+class TestPairsCsv:
+    def test_basic_load(self):
+        data = io.StringIO("c1,o1\nc1,o2\nc2,o1\n")
+        trace = load_pairs_csv(data)
+        assert trace.n_clients == 2
+        assert trace.n_objects == 2
+        assert trace.client_ids == ["c1", "c2"]
+        assert list(trace.corpus.nnz_per_item()) == [2, 1]
+
+    def test_duplicates_collapse(self):
+        data = io.StringIO("c1,o1\nc1,o1\nc1,o1\n")
+        trace = load_pairs_csv(data)
+        assert list(trace.corpus.nnz_per_item()) == [1]
+
+    def test_comments_and_blanks_skipped(self):
+        data = io.StringIO("# log\n\nc1,o1\n")
+        assert load_pairs_csv(data).n_clients == 1
+
+    def test_header_skip(self):
+        data = io.StringIO("client,object\nc1,o1\n")
+        trace = load_pairs_csv(data, skip_header=True)
+        assert trace.n_clients == 1
+
+    def test_max_rows(self):
+        data = io.StringIO("c1,o1\nc2,o2\nc3,o3\n")
+        assert load_pairs_csv(data, max_rows=2).n_clients == 2
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            load_pairs_csv(io.StringIO("justonefield\n"))
+        with pytest.raises(ValueError):
+            load_pairs_csv(io.StringIO("c1,\n"))
+
+    def test_custom_delimiter(self):
+        data = io.StringIO("c1\to1\n")
+        assert load_pairs_csv(data, delimiter="\t").n_objects == 1
+
+    def test_file_path(self, tmp_path):
+        p = tmp_path / "trace.csv"
+        p.write_text("c1,o1\nc2,o2\n")
+        assert load_pairs_csv(p).n_clients == 2
+
+
+class TestBasketLines:
+    def test_basic_load(self):
+        data = io.StringIO("c1: o1 o2 o3\nc2: o1\n")
+        trace = load_basket_lines(data)
+        assert trace.n_clients == 2
+        assert list(trace.corpus.nnz_per_item()) == [3, 1]
+
+    def test_repeated_client_merges(self):
+        data = io.StringIO("c1: o1\nc1: o2\n")
+        trace = load_basket_lines(data)
+        assert trace.n_clients == 1
+        assert list(trace.corpus.nnz_per_item()) == [2]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            load_basket_lines(io.StringIO("no separator here\n"))
+        with pytest.raises(ValueError):
+            load_basket_lines(io.StringIO("c1:\n"))
+
+
+class TestBasketsToCorpus:
+    def test_dense_reindexing_sorted(self):
+        trace = baskets_to_corpus({"z": {"o9"}, "a": {"o1", "o9"}})
+        assert trace.client_ids == ["a", "z"]
+        assert trace.object_ids == ["o1", "o9"]
+        v = trace.corpus.vector(0)
+        assert list(v.indices) == [0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            baskets_to_corpus({})
+
+    def test_loaded_trace_feeds_stats(self):
+        from repro.workload.stats import trace_statistics
+
+        trace = baskets_to_corpus({"c1": {"a", "b"}, "c2": {"a"}})
+        stats = trace_statistics(trace.corpus)
+        assert stats.n_items == 2
+        assert stats.mean_basket == pytest.approx(1.5)
+
+    def test_loaded_trace_publishable(self):
+        import numpy as np
+
+        from repro.core import Meteorograph, MeteorographConfig, PlacementScheme
+
+        trace = baskets_to_corpus(
+            {f"c{i}": {f"o{i % 5}", f"o{(i + 1) % 5}"} for i in range(40)}
+        )
+        rng = np.random.default_rng(0)
+        system = Meteorograph.build(
+            16, trace.corpus.dim, rng=rng,
+            config=MeteorographConfig(scheme=PlacementScheme.NONE),
+        )
+        system.publish_corpus(trace.corpus, rng)
+        assert system.network.total_items() == 40

@@ -1,0 +1,91 @@
+"""Unit tests for query generation and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.vsm.sparse import Corpus
+from repro.workload.queries import (
+    item_query,
+    keyword_ground_truth,
+    keyword_query,
+    multi_keyword_query,
+    nth_popular_keyword,
+)
+from repro.workload.worldcup import WorldCupParams, generate_trace
+
+
+def corpus():
+    # keyword frequencies: 0 → 3, 1 → 2, 2 → 1, 3 → 0
+    return Corpus.from_baskets([[0, 1], [0, 1, 2], [0]], 4)
+
+
+class TestNthPopular:
+    def test_ranking(self):
+        c = corpus()
+        assert nth_popular_keyword(c, 1) == 0
+        assert nth_popular_keyword(c, 2) == 1
+        assert nth_popular_keyword(c, 3) == 2
+
+    def test_tie_breaks_by_id(self):
+        c = Corpus.from_baskets([[0, 1]], 4)
+        assert nth_popular_keyword(c, 1) == 0
+        assert nth_popular_keyword(c, 2) == 1
+
+    def test_max_matches_cap(self):
+        c = corpus()
+        # With cap 2, keyword 0 (freq 3) is excluded.
+        assert nth_popular_keyword(c, 1, max_matches=2) == 1
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            nth_popular_keyword(corpus(), 0)
+        with pytest.raises(ValueError):
+            nth_popular_keyword(corpus(), 99)
+
+    def test_cap_exhausts_candidates(self):
+        with pytest.raises(ValueError):
+            nth_popular_keyword(corpus(), 4, max_matches=2)
+
+
+class TestQueryVectors:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(WorldCupParams(n_items=200, n_keywords=80), seed=5)
+
+    def test_keyword_query_uses_trace_weights(self, trace):
+        q = keyword_query(trace, [3, 1])
+        assert list(q.indices) == [1, 3]
+        assert np.allclose(q.values, trace.keyword_weights[[1, 3]])
+
+    def test_keyword_query_empty_rejected(self, trace):
+        with pytest.raises(ValueError):
+            keyword_query(trace, [])
+
+    def test_item_query_is_item_vector(self, trace):
+        q = item_query(trace.corpus, 5)
+        v = trace.corpus.vector(5)
+        assert np.array_equal(q.indices, v.indices)
+
+    def test_multi_keyword_query_matches_source(self, trace):
+        rng = np.random.default_rng(0)
+        q, src = multi_keyword_query(trace, rng, n_keywords=3)
+        assert q.nnz == 3
+        assert trace.corpus.vector(src).contains_all(q.indices)
+
+
+class TestGroundTruth:
+    def test_single_keyword(self):
+        gt = keyword_ground_truth(corpus(), [1])
+        assert list(gt.matching_items) == [0, 1]
+        assert gt.total == 2
+
+    def test_conjunction(self):
+        gt = keyword_ground_truth(corpus(), [1, 2])
+        assert list(gt.matching_items) == [1]
+
+    def test_no_matches(self):
+        assert keyword_ground_truth(corpus(), [3]).total == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            keyword_ground_truth(corpus(), [])

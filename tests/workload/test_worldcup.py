@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic World Cup trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.worldcup import PAPER_SCALE, WorldCupParams, generate_trace
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorldCupParams(n_items=0)
+        with pytest.raises(ValueError):
+            WorldCupParams(n_keywords=1)
+        with pytest.raises(ValueError):
+            WorldCupParams(mean_basket=0.5)
+        with pytest.raises(ValueError):
+            WorldCupParams(sigma=0.0)
+
+    def test_effective_max_basket_capped_by_keywords(self):
+        p = WorldCupParams(n_items=10, n_keywords=100, max_basket=500)
+        assert p.effective_max_basket == 100
+
+    def test_paper_scale_reference(self):
+        assert PAPER_SCALE["n_items"] == 2_760_000
+        assert PAPER_SCALE["mean_basket"] == 43
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(
+            WorldCupParams(n_items=3000, n_keywords=800), seed=7
+        )
+
+    def test_shape(self, trace):
+        assert trace.corpus.n_items == 3000
+        assert trace.corpus.dim == 800
+
+    def test_mean_basket_near_target(self, trace):
+        assert trace.basket_sizes.mean() == pytest.approx(43.0, rel=0.15)
+
+    def test_min_basket_at_least_one(self, trace):
+        assert trace.basket_sizes.min() >= 1
+
+    def test_heavy_tail(self, trace):
+        sizes = trace.basket_sizes
+        assert sizes.max() > 4 * np.median(sizes)
+
+    def test_baskets_have_distinct_keywords(self, trace):
+        for i in (0, 100, 2999):
+            v = trace.corpus.vector(i)
+            assert len(np.unique(v.indices)) == v.nnz
+
+    def test_popularity_skew(self, trace):
+        freqs = trace.corpus.keyword_frequencies()
+        top = np.sort(freqs)[::-1]
+        # Zipf: top keyword much more frequent than the median keyword.
+        assert top[0] > 5 * max(1, np.median(freqs))
+
+    def test_generative_rank_matches_realised_popularity(self, trace):
+        freqs = trace.corpus.keyword_frequencies()
+        top_id = trace.nth_popular_keyword(1)
+        # The generatively-top keyword is among the realised top 3.
+        assert freqs[top_id] >= np.sort(freqs)[::-1][2]
+
+    def test_deterministic(self):
+        p = WorldCupParams(n_items=200, n_keywords=100)
+        a = generate_trace(p, seed=3)
+        b = generate_trace(p, seed=3)
+        assert (a.corpus.matrix != b.corpus.matrix).nnz == 0
+        assert np.array_equal(a.keyword_weights, b.keyword_weights)
+
+    def test_different_seeds_differ(self):
+        p = WorldCupParams(n_items=200, n_keywords=100)
+        a = generate_trace(p, seed=3)
+        b = generate_trace(p, seed=4)
+        assert (a.corpus.matrix != b.corpus.matrix).nnz > 0
+
+
+class TestWeightSchemes:
+    def test_binary_weights_are_ones(self):
+        t = generate_trace(
+            WorldCupParams(n_items=100, n_keywords=60, weight_scheme="binary"), seed=1
+        )
+        assert np.allclose(t.corpus.matrix.data, 1.0)
+        assert np.allclose(t.keyword_weights, 1.0)
+
+    def test_idf_weights_penalise_popular(self):
+        t = generate_trace(
+            WorldCupParams(n_items=500, n_keywords=100, weight_scheme="idf"), seed=1
+        )
+        freqs = t.corpus.keyword_frequencies()
+        hot = int(np.argmax(freqs))
+        cold = int(np.argmin(freqs + (freqs == 0) * 10**9))
+        assert t.keyword_weights[hot] < t.keyword_weights[cold]
+
+    def test_random_weights_bounded(self):
+        t = generate_trace(
+            WorldCupParams(n_items=100, n_keywords=60, weight_scheme="random"), seed=1
+        )
+        assert t.keyword_weights.min() >= 0.5
+        assert t.keyword_weights.max() <= 2.0
+
+    def test_item_weights_match_keyword_weights(self):
+        t = generate_trace(
+            WorldCupParams(n_items=100, n_keywords=60, weight_scheme="idf"), seed=1
+        )
+        v = t.corpus.vector(0)
+        assert np.allclose(v.values, t.keyword_weights[v.indices])

@@ -1,0 +1,72 @@
+"""Unit tests for Zipf sampling."""
+
+import numpy as np
+import pytest
+
+from repro.workload.zipf import ZipfSampler, zipf_pmf
+
+
+class TestPmf:
+    def test_normalised(self):
+        assert zipf_pmf(100, 0.95).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        pmf = zipf_pmf(50, 1.0)
+        assert np.all(np.diff(pmf) < 0)
+
+    def test_zero_exponent_uniform(self):
+        pmf = zipf_pmf(10, 0.0)
+        assert np.allclose(pmf, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_pmf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_pmf(10, -1.0)
+
+
+class TestSampler:
+    def test_sample_range(self):
+        s = ZipfSampler(20, 0.9)
+        out = s.sample(np.random.default_rng(0), 1000)
+        assert out.min() >= 0 and out.max() < 20
+
+    def test_rank_identity_without_permutation(self):
+        s = ZipfSampler(10, 1.0)
+        assert s.id_of_rank(1) == 0
+        assert s.id_of_rank(10) == 9
+
+    def test_rank_bounds(self):
+        s = ZipfSampler(10, 1.0)
+        with pytest.raises(ValueError):
+            s.id_of_rank(0)
+        with pytest.raises(ValueError):
+            s.id_of_rank(11)
+
+    def test_permutation_is_consistent(self):
+        rng = np.random.default_rng(5)
+        s = ZipfSampler(50, 1.0, rng=rng, permute=True)
+        top = s.id_of_rank(1)
+        counts = np.bincount(s.sample(np.random.default_rng(1), 20000), minlength=50)
+        assert counts.argmax() == top
+
+    def test_permute_requires_rng(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, 1.0, permute=True)
+
+    def test_empirical_frequencies_follow_ranks(self):
+        s = ZipfSampler(30, 1.0)
+        counts = np.bincount(s.sample(np.random.default_rng(2), 50000), minlength=30)
+        # Frequency of rank 1 ≈ 2× rank 2 under s=1.
+        assert counts[0] / counts[1] == pytest.approx(2.0, rel=0.15)
+
+    def test_probability_of_id(self):
+        s = ZipfSampler(10, 1.0)
+        assert s.probability_of_id(0) > s.probability_of_id(9)
+        assert s.probability_of_id(0) == pytest.approx(zipf_pmf(10, 1.0)[0])
+
+    def test_deterministic_under_seed(self):
+        s = ZipfSampler(20, 0.8)
+        a = s.sample(np.random.default_rng(7), 100)
+        b = s.sample(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
