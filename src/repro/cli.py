@@ -46,6 +46,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list", help="list available experiments")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a small instrumented session and print its span trees",
+    )
+    trace.add_argument(
+        "experiment",
+        nargs="?",
+        default="fig7",
+        help="experiment id shaping the session's queries (default: fig7)",
+    )
+    trace.add_argument("--scale", type=float, default=1.0, help="session size factor")
+    trace.add_argument("--seed", type=int, default=7, help="session RNG seed")
+    trace.add_argument(
+        "--roots", type=int, default=3, help="how many span trees to print"
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a small instrumented session and print its metric tables",
+    )
+    stats.add_argument(
+        "experiment",
+        nargs="?",
+        default="fig7",
+        help="experiment id shaping the session's queries (default: fig7)",
+    )
+    stats.add_argument("--scale", type=float, default=1.0, help="session size factor")
+    stats.add_argument("--seed", type=int, default=7, help="session RNG seed")
+    stats.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the expected instruments populated "
+        "(CI smoke test)",
+    )
+    stats.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write the registry snapshot to DIR as metrics.json + metrics.csv",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the micro-kernels; write or compare BENCH_*.json snapshots",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=1.0, help="kernel workload size factor"
+    )
+    bench.add_argument("--repeats", type=int, default=5, help="timing repeats")
+    bench.add_argument(
+        "--out", default=None, metavar="FILE", help="write the snapshot JSON to FILE"
+    )
+    bench.add_argument(
+        "--against",
+        default=None,
+        metavar="FILE",
+        help="compare against a snapshot (e.g. BENCH_baseline.json); "
+        "exit non-zero on a best-of regression past --threshold",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="fractional regression tolerance for --against (default 0.05; "
+        "widen on noisy machines — sub-ms kernels jitter ~10%%)",
+    )
     return parser
 
 
@@ -78,7 +145,103 @@ def main(argv: Sequence[str] | None = None) -> int:
             manifest = write_manifest(args.out, done)
             print(f"results written to {manifest.parent}/")
         return 0
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: Instruments ``stats --check`` requires after a demo session; chosen
+#: so that breaking any instrumented layer (network counters, routing,
+#: kernels, the simulator profiler) trips the check.
+_REQUIRED_COUNTERS = ("net.sent.publish", "routing.rows_built")
+_REQUIRED_TIMERS = ("kernel.angles", "publish.displace_chain", "sim.step")
+
+
+def _check_experiment(name: str) -> bool:
+    if name in ALL_EXPERIMENTS:
+        return True
+    print(f"unknown experiment(s): {name}", file=sys.stderr)
+    print("use 'meteorograph list'", file=sys.stderr)
+    return False
+
+
+def _cmd_trace(args) -> int:
+    from .obs.demo import interesting_roots, traced_session
+    from .obs.trace import render_trace_tree
+
+    if not _check_experiment(args.experiment):
+        return 2
+    session = traced_session(args.experiment, scale=args.scale, seed=args.seed)
+    total = len(list(session.obs.tracer.iter_spans()))
+    if total == 0:
+        print("no spans recorded", file=sys.stderr)
+        return 1
+    roots = interesting_roots(session, limit=args.roots)
+    print(
+        f"[{session.experiment}] published {session.n_published} items, "
+        f"{session.n_finds} finds, {session.n_retrieves} retrieves; "
+        f"{'; '.join(session.notes)}"
+    )
+    print(f"showing {len(roots)} of {total} recorded root spans:\n")
+    for root in roots:
+        print(render_trace_tree(root))
+        print()
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .obs.demo import traced_session
+
+    if not _check_experiment(args.experiment):
+        return 2
+    session = traced_session(args.experiment, scale=args.scale, seed=args.seed)
+    metrics = session.obs.metrics
+    print(metrics.render_tables())
+    if args.out is not None:
+        out = os.path.join(args.out, "")
+        os.makedirs(out, exist_ok=True)
+        metrics.to_json(os.path.join(out, "metrics.json"))
+        metrics.to_csv(os.path.join(out, "metrics.csv"))
+        print(f"\nsnapshot written to {out}metrics.json / metrics.csv")
+    if args.check:
+        snap = metrics.snapshot()
+        missing = [c for c in _REQUIRED_COUNTERS if not snap["counters"].get(c)]
+        missing += [
+            t for t in _REQUIRED_TIMERS
+            if snap["timers"].get(t, {}).get("wall_s", {}).get("count", 0) == 0
+        ]
+        if missing:
+            print(f"\nstats --check FAILED; missing: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 1
+        print("\nstats --check OK")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .obs import bench
+
+    results = bench.run_benchmarks(scale=args.scale, repeats=args.repeats)
+    print(bench.format_results(results))
+    if args.out is not None:
+        path = bench.write_results(results, args.out)
+        print(f"\nsnapshot written to {path}")
+    if args.against is not None:
+        try:
+            baseline = bench.load_results(args.against)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.against}: {exc}", file=sys.stderr)
+            return 2
+        rows = bench.compare_results(baseline, results)
+        print(f"\nvs {args.against}:")
+        print(bench.format_comparison(rows, threshold=args.threshold))
+        if any(r["delta"] is not None and r["delta"] > args.threshold for r in rows):
+            return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,11 +21,14 @@ published configuration on the ℜ = 10⁸ space.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
 from ..overlay.idspace import KeySpace, PAPER_MODULUS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
 
 __all__ = [
     "HotRegion",
@@ -187,7 +190,13 @@ class HotRegionNamer:
     O(1).)  Node density inside hot regions then follows item density.
     """
 
-    def __init__(self, space: KeySpace, regions: Sequence[HotRegion]) -> None:
+    def __init__(
+        self,
+        space: KeySpace,
+        regions: Sequence[HotRegion],
+        *,
+        obs: Optional["Observability"] = None,
+    ) -> None:
         for r in regions:
             if r.hi > space.modulus:
                 raise ValueError(
@@ -202,6 +211,7 @@ class HotRegionNamer:
                 )
         self.space = space
         self.regions = tuple(ordered)
+        self._obs = obs
         self._cum = [np.concatenate(([0.0], np.cumsum(r.degrees_of_hotness()))) for r in self.regions]
 
     def region_of(self, key: int) -> HotRegion | None:
@@ -212,6 +222,9 @@ class HotRegionNamer:
 
     def __call__(self, rng: np.random.Generator) -> int:
         key = self.space.random_key(rng)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter("naming.draws")
         for r, cum in zip(self.regions, self._cum):
             if not r.contains(key):
                 continue
@@ -219,5 +232,7 @@ class HotRegionNamer:
             s = int(np.searchsorted(cum, u, side="right")) - 1
             s = min(max(s, 0), r.sub_ranges - 1)
             lo, hi = r.xs[s], r.xs[s + 1]
+            if obs is not None and obs.enabled:
+                obs.metrics.counter("naming.hot_redraws")
             return int(rng.integers(lo, hi))
         return key

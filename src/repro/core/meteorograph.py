@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import bisect
 import enum
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Literal, Optional, Sequence
 
 import numpy as np
 
+from ..obs import NULL_OBS, Observability, SimProfiler
 from ..overlay.base import Overlay
 from ..overlay.chord import ChordOverlay
 from ..overlay.idspace import KeySpace
@@ -102,6 +102,11 @@ class MeteorographConfig:
     #: join messages); False inserts nodes directly — faster builds for
     #: experiments that only measure query costs.
     protocol_joins: bool = False
+    #: Observability: False (default) = the zero-cost no-op sinks; True
+    #: = a fresh :class:`repro.obs.Observability` (trace bus + metrics
+    #: registry) per build; or pass an ``Observability`` instance to
+    #: share one bus across systems.  See OBSERVABILITY.md.
+    observability: "bool | Observability" = False
 
 
 class NodeState:
@@ -115,6 +120,12 @@ class NodeState:
         self._ladder: list[tuple[int, int]] = []
 
     def add(self, item: StoredItem) -> None:
+        # Re-adding an id the state already tracks (e.g. a displaced
+        # primary landing on a node that holds its replica) replaces the
+        # old copy; inserting a second ladder tuple would leave a
+        # dangling entry behind after the next evict.
+        if item.item_id in self.index:
+            self.remove(item.item_id)
         self.index.add(item)
         bisect.insort(self._ladder, (item.angle_key, item.item_id))
 
@@ -207,7 +218,15 @@ class Meteorograph:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         cfg = config if config is not None else MeteorographConfig()
         sp = space if space is not None else KeySpace()
-        network = Network(sink=sink, simulator=simulator)
+        if isinstance(cfg.observability, Observability):
+            obs = cfg.observability
+        elif cfg.observability:
+            obs = Observability()
+        else:
+            obs = NULL_OBS
+        if obs.enabled and simulator is not None and simulator.profiler is None:
+            SimProfiler(obs.metrics).attach(simulator)
+        network = Network(sink=sink, simulator=simulator, obs=obs)
         if cfg.overlay_kind == "tornado":
             overlay: Overlay = TornadoOverlay(
                 sp, network, digit_bits=cfg.digit_bits, leaf_set_size=cfg.leaf_set_size
@@ -223,21 +242,25 @@ class Meteorograph:
         if cfg.scheme.uses_equalizer:
             if sample is None:
                 raise ValueError(f"scheme {cfg.scheme} requires a sample corpus")
-            angle_keys = corpus_to_keys(sample, sp)
-            equalizer = equalizer_from_sample(
-                angle_keys, sp, max_knees=cfg.max_remap_knees
-            )
-            balanced = equalizer.remap_many(angle_keys)
-            if cfg.scheme.uses_hot_regions:
-                regions = detect_hot_regions(
-                    balanced,
-                    sp,
-                    bins=cfg.hot_region_bins,
-                    threshold=cfg.hot_region_threshold,
-                    max_subknees=cfg.hot_region_max_subknees,
+            with obs.metrics.timer("kernel.angles"):
+                angle_keys = corpus_to_keys(sample, sp)
+            with obs.metrics.timer("kernel.equalizer_fit"):
+                equalizer = equalizer_from_sample(
+                    angle_keys, sp, max_knees=cfg.max_remap_knees
                 )
+            with obs.metrics.timer("kernel.remap"):
+                balanced = equalizer.remap_many(angle_keys)
+            if cfg.scheme.uses_hot_regions:
+                with obs.metrics.timer("kernel.hot_regions"):
+                    regions = detect_hot_regions(
+                        balanced,
+                        sp,
+                        bins=cfg.hot_region_bins,
+                        threshold=cfg.hot_region_threshold,
+                        max_subknees=cfg.hot_region_max_subknees,
+                    )
                 if regions:
-                    namer = HotRegionNamer(sp, regions)
+                    namer = HotRegionNamer(sp, regions, obs=obs if obs.enabled else None)
             first_hop = FirstHopSelector(sample, balanced, angle_keys)
         elif sample is not None:
             angle_keys = corpus_to_keys(sample, sp)
@@ -276,7 +299,17 @@ class Meteorograph:
                     node_id = namer(rng)
                 overlay.add_node(node_id, capacity=capacity_of())
         system.join_stats = {"messages": join_messages, "retries": join_retries}
+        if obs.enabled:
+            obs.metrics.gauge("build.nodes", n_nodes)
+            obs.metrics.gauge("build.dim", dim)
         return system
+
+    # ---------------------------------------------------------------- obs
+
+    @property
+    def obs(self) -> Observability:
+        """The system's observability bundle (the no-op one when disabled)."""
+        return self.network.obs
 
     # ------------------------------------------------------------------- keys
 
@@ -292,9 +325,13 @@ class Meteorograph:
         """Vectorised :meth:`item_keys` over a corpus."""
         if corpus.dim != self.dim:
             raise ValueError(f"corpus dim {corpus.dim} != system dim {self.dim}")
-        angle_keys = corpus_to_keys(corpus, self.space)
+        obs = self.network.obs
+        with obs.metrics.timer("kernel.angles"):
+            angle_keys = corpus_to_keys(corpus, self.space)
         if self.equalizer is not None:
-            return angle_keys, self.equalizer.remap_many(angle_keys)
+            with obs.metrics.timer("kernel.remap"):
+                publish_keys = self.equalizer.remap_many(angle_keys)
+            return angle_keys, publish_keys
         return angle_keys, angle_keys.copy()
 
     def query_angle_key(self, query: SparseVector) -> int:

@@ -20,11 +20,8 @@ a publish pays O(subscribers-at-home) extra messages, not a broadcast.
 from __future__ import annotations
 
 import itertools
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
-
-import numpy as np
 
 from ..sim.node import StoredItem
 from ..vsm.sparse import SparseVector

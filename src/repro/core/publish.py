@@ -119,6 +119,7 @@ def run_displacement_chain(
     incoming = item
     budget = hop_budget
     frontier = system.overlay.closest_neighbors(home_id, alive_only=True)
+    tracer = system.network.obs.tracer
     while True:
         node = system.network.node(current)
         if not node.is_full:
@@ -142,6 +143,8 @@ def run_displacement_chain(
             result.dropped_item_id = victim.item_id
             return result
         system.network.send(current, next_id, kind="displace")
+        if tracer.enabled:
+            tracer.event("displace", src=current, dst=next_id, item=victim.item_id)
         result.displacement_hops += 1
         result.chain.append(next_id)
         if budget is not None:
@@ -180,18 +183,27 @@ def publish_item(
         weights=np.asarray(weights, dtype=np.float64),
         payload=payload,
     )
-    route = system.overlay.route(origin, publish_key, kind="publish")
-    assert route.home is not None
-    result = run_displacement_chain(
-        system,
-        route.home,
-        item,
-        hop_budget=hop_budget,
-        policy=policy,
-    )
-    result.route_hops = route.hops
-    if system.config.directory_pointers:
-        system.publish_pointer(route.home, item)
-    if system.replication is not None and result.success:
-        system.replication.replicate(route.home, item)
+    obs = system.network.obs
+    with obs.tracer.span("publish", item=item_id, key=publish_key) as sp:
+        route = system.overlay.route(origin, publish_key, kind="publish")
+        assert route.home is not None
+        with obs.metrics.timer("publish.displace_chain"):
+            result = run_displacement_chain(
+                system,
+                route.home,
+                item,
+                hop_budget=hop_budget,
+                policy=policy,
+            )
+        result.route_hops = route.hops
+        if system.config.directory_pointers:
+            system.publish_pointer(route.home, item)
+        if system.replication is not None and result.success:
+            system.replication.replicate(route.home, item)
+        sp.set(
+            home=result.home,
+            route_hops=route.hops,
+            displacement_hops=result.displacement_hops,
+            ok=result.success,
+        )
     return result

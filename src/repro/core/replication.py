@@ -16,7 +16,7 @@ to the event engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..sim.node import StoredItem
 
@@ -75,6 +75,9 @@ class ReplicationManager:
                 placed += 1
             if len(record.holders) >= self.factor:
                 break
+        tracer = self.system.network.obs.tracer
+        if tracer.enabled and placed:
+            tracer.event("replicate", item=item.item_id, primary=home_id, placed=placed)
         return placed
 
     def _place_replica(

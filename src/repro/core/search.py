@@ -138,6 +138,8 @@ def retrieve(
     if patience < 1:
         raise ValueError(f"patience must be >= 1, got {patience}")
     key = start_key if start_key is not None else system.query_key(query)
+    obs = system.network.obs
+    sp = obs.tracer.span("retrieve", key=key, origin=origin, amount=amount)
     route = system.overlay.route(origin, key, kind="retrieve")
     assert route.home is not None
     result = RetrieveResult(route_hops=route.hops)
@@ -167,23 +169,35 @@ def retrieve(
     dry = 0
     walked = 0
     current = route.home
-    for neighbor in _walk_order(system, route.home, direction):
-        if amount is not None and len(result.discoveries) >= amount:
-            break
-        if max_walk is not None and walked >= max_walk:
-            result.complete = amount is None
-            break
-        if amount is None and dry >= patience:
-            break
-        system.network.send(current, neighbor, kind="retrieve")
-        current = neighbor
-        walked += 1
-        result.walk_hops += 1
-        result.visited.append(neighbor)
-        fresh = harvest(neighbor, route.hops + walked)
-        dry = 0 if fresh else dry + 1
+    tracer = obs.tracer
+    with obs.metrics.timer("kernel.walk"):
+        for neighbor in _walk_order(system, route.home, direction):
+            if amount is not None and len(result.discoveries) >= amount:
+                break
+            if max_walk is not None and walked >= max_walk:
+                result.complete = amount is None
+                break
+            if amount is None and dry >= patience:
+                break
+            system.network.send(current, neighbor, kind="retrieve")
+            current = neighbor
+            walked += 1
+            result.walk_hops += 1
+            result.visited.append(neighbor)
+            fresh = harvest(neighbor, route.hops + walked)
+            if tracer.enabled:
+                tracer.event("walk", node=neighbor, fresh=fresh)
+            dry = 0 if fresh else dry + 1
     if amount is not None and len(result.discoveries) < amount:
         result.complete = False
+    sp.set(
+        home=route.home,
+        route_hops=route.hops,
+        walk_hops=result.walk_hops,
+        found=result.found,
+        complete=result.complete,
+    )
+    obs.tracer.finish(sp)
     return result
 
 
@@ -203,29 +217,52 @@ def find_item(
     walk lands on replicas.
     """
     publish_key = system.published_key_of(item_id)
-    route = system.overlay.route(origin, publish_key, kind="retrieve")
-    assert route.home is not None
-    messages = route.hops
+    obs = system.network.obs
+    tracer = obs.tracer
+    with tracer.span("find", item=item_id, key=publish_key, origin=origin) as sp:
+        route = system.overlay.route(origin, publish_key, kind="retrieve")
+        assert route.home is not None
+        messages = route.hops
 
-    def holds(node_id: int) -> bool:
-        return system.network.node(node_id).has_item(item_id)
+        def holds(node_id: int) -> bool:
+            return system.network.node(node_id).has_item(item_id)
 
-    if holds(route.home):
-        return FindResult(item_id, True, route.hops, route.hops, messages, route.home)
-    walked = 0
-    current = route.home
-    for neighbor in system.overlay.closest_neighbors(route.home, alive_only=True):
-        if max_walk is not None and walked >= max_walk:
-            break
-        system.network.send(current, neighbor, kind="retrieve")
-        current = neighbor
-        walked += 1
-        messages += 1
-        if holds(neighbor):
+        if holds(route.home):
+            sp.set(found=True, closest_hops=route.hops, total_hops=route.hops)
             return FindResult(
-                item_id, True, route.hops, route.hops + walked, messages, neighbor
+                item_id, True, route.hops, route.hops, messages, route.home
             )
-    return FindResult(item_id, False, route.hops, route.hops + walked, messages, None)
+        walked = 0
+        current = route.home
+        with obs.metrics.timer("kernel.walk"):
+            for neighbor in system.overlay.closest_neighbors(
+                route.home, alive_only=True
+            ):
+                if max_walk is not None and walked >= max_walk:
+                    break
+                system.network.send(current, neighbor, kind="retrieve")
+                current = neighbor
+                walked += 1
+                messages += 1
+                hit = holds(neighbor)
+                if tracer.enabled:
+                    tracer.event("walk", node=neighbor, hit=hit)
+                if hit:
+                    sp.set(
+                        found=True,
+                        closest_hops=route.hops,
+                        total_hops=route.hops + walked,
+                    )
+                    return FindResult(
+                        item_id,
+                        True,
+                        route.hops,
+                        route.hops + walked,
+                        messages,
+                        neighbor,
+                    )
+        sp.set(found=False, closest_hops=route.hops, total_hops=route.hops + walked)
+        return FindResult(item_id, False, route.hops, route.hops + walked, messages, None)
 
 
 def retrieve_with_pointers(
@@ -259,6 +296,9 @@ def retrieve_with_pointers(
     if patience < 1:
         raise ValueError(f"patience must be >= 1, got {patience}")
     key = start_key if start_key is not None else system.query_angle_key(query)
+    obs = system.network.obs
+    tracer = obs.tracer
+    sp = tracer.span("retrieve", key=key, origin=origin, amount=amount, mode="pointers")
     route = system.overlay.route(origin, key, kind="retrieve")
     assert route.home is not None
     result = RetrieveResult(route_hops=route.hops)
@@ -306,6 +346,8 @@ def retrieve_with_pointers(
         result.walk_hops += 1
         result.visited.append(neighbor)
         hits = matching_pointers(neighbor)
+        if tracer.enabled:
+            tracer.event("walk", node=neighbor, fresh=len(hits))
         for p in hits:
             pointer_hop.setdefault(p.item_id, route.hops + walked)
         pointers.extend(hits)
@@ -339,6 +381,8 @@ def retrieve_with_pointers(
         if amount is not None and len(result.discoveries) >= amount:
             break
         wanted = {p.item_id for p in by_home[body_home]}
+        if tracer.enabled:
+            tracer.event("fetch", body_home=body_home, promised=len(wanted))
         fetch = system.overlay.route(fetch_origin, body_home, kind="retrieve")
         result.fetch_hops += fetch.hops
         result.reply_messages += 1  # the k′-items reply to the pointer home
@@ -376,4 +420,13 @@ def retrieve_with_pointers(
                 missing -= seen_items
     if amount is not None and len(result.discoveries) < amount:
         result.complete = False
+    sp.set(
+        home=route.home,
+        route_hops=route.hops,
+        walk_hops=result.walk_hops,
+        fetch_hops=result.fetch_hops,
+        found=result.found,
+        complete=result.complete,
+    )
+    tracer.finish(sp)
     return result

@@ -17,7 +17,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from .experiments.common import RowSet
 

@@ -1,0 +1,212 @@
+"""Micro-kernel benchmark harness behind ``meteorograph bench``.
+
+Re-implements the setups of ``benchmarks/test_micro_kernels.py`` as a
+plain best-of-N-repeats timer so kernel latencies can be snapshotted
+without pytest: the vectorised Eq.-5 angle computation, full key
+derivation, the Eq.-6 batch remap, warmed overlay routing, and the
+local-index query path.  Snapshots are written as ``BENCH_*.json`` files
+(the committed ``BENCH_baseline.json`` is the reference point; see
+OBSERVABILITY.md) and :func:`compare_results` diffs a fresh run against
+one.
+
+Best-of is the right statistic here: every kernel is deterministic CPU
+work, so the minimum over repeats estimates the uncontended cost and
+higher observations are scheduler noise.
+
+Like :mod:`repro.obs.demo`, this is a leaf module — it imports the core
+system, so nothing inside :mod:`repro.obs` may import it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "build_kernels",
+    "run_benchmarks",
+    "write_results",
+    "load_results",
+    "compare_results",
+    "format_results",
+    "format_comparison",
+]
+
+DEFAULT_BASELINE = "BENCH_baseline.json"
+
+#: Inner-loop iteration counts per kernel (amortise timer overhead on
+#: the fast ones without making a full run take minutes).
+_LOOPS = {
+    "absolute_angles": 3,
+    "corpus_to_keys": 3,
+    "equalizer_remap": 20,
+    "tornado_route": 5,
+    "local_index_query": 50,
+}
+
+
+def build_kernels(scale: float = 1.0) -> dict[str, Callable[[], object]]:
+    """Closures over the five micro-kernel workloads.
+
+    ``scale`` shrinks the corpus-bound kernels for quick smoke runs;
+    committed baselines should always use ``scale=1.0`` (the exact
+    setups of ``benchmarks/test_micro_kernels.py``).
+    """
+    from ..core import corpus_to_keys, equalizer_from_sample
+    from ..core.angles import absolute_angles
+    from ..overlay.idspace import KeySpace
+    from ..overlay.tornado import TornadoOverlay
+    from ..sim.network import Network
+    from ..sim.node import StoredItem
+    from ..vsm.index import LocalVsmIndex
+    from ..vsm.sparse import SparseVector
+    from ..workload import WorldCupParams, generate_trace
+
+    s = max(0.01, float(scale))
+    trace = generate_trace(
+        WorldCupParams(
+            n_items=max(300, int(round(6000 * s))),
+            n_keywords=max(150, int(round(1500 * s))),
+        ),
+        seed=19980724,
+    )
+    corpus = trace.corpus
+    space = KeySpace()
+    keys = corpus_to_keys(corpus, space)
+    eq = equalizer_from_sample(keys[: min(500, keys.size)], space)
+
+    rng = np.random.default_rng(0)
+    network = Network()
+    overlay = TornadoOverlay(space, network)
+    ids: set[int] = set()
+    n_nodes = max(100, int(round(1000 * s)))
+    while len(ids) < n_nodes:
+        ids.add(int(rng.integers(0, space.modulus)))
+    for nid in ids:
+        overlay.add_node(nid)
+    origins = [overlay.ring.at(int(rng.integers(0, n_nodes))) for _ in range(64)]
+    route_keys = [int(rng.integers(0, space.modulus)) for _ in range(64)]
+    for o, k in zip(origins, route_keys):  # warm the lazy routing tables
+        overlay.route(o, k)
+
+    idx_rng = np.random.default_rng(1)
+    idx = LocalVsmIndex(4000)
+    for i in range(400):
+        kws = np.sort(idx_rng.choice(4000, size=40, replace=False)).astype(np.int64)
+        idx.add(StoredItem(i, 0, 0, kws, idx_rng.uniform(0.5, 3.0, 40)))
+    q = SparseVector.from_mapping(
+        {int(k): 1.0 for k in idx_rng.choice(4000, 5, replace=False)}, 4000
+    )
+
+    def route_all() -> int:
+        total = 0
+        for o, k in zip(origins, route_keys):
+            total += overlay.route(o, k).hops
+        return total
+
+    return {
+        "absolute_angles": lambda: absolute_angles(corpus),
+        "corpus_to_keys": lambda: corpus_to_keys(corpus, space),
+        "equalizer_remap": lambda: eq.remap_many(keys),
+        "tornado_route": route_all,
+        "local_index_query": lambda: idx.query(q, 20),
+    }
+
+
+def _time_kernel(fn: Callable[[], object], loops: int, repeats: int) -> dict:
+    fn()  # warm caches / allocator before the measured repeats
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        samples.append((time.perf_counter() - t0) / loops)
+    arr = np.asarray(samples, dtype=np.float64)
+    return {
+        "best_us": float(arr.min() * 1e6),
+        "mean_us": float(arr.mean() * 1e6),
+        "repeats": repeats,
+        "loops": loops,
+    }
+
+
+def run_benchmarks(*, scale: float = 1.0, repeats: int = 5) -> dict:
+    """Time every micro-kernel; returns the snapshot dict (JSON-ready)."""
+    kernels = build_kernels(scale)
+    results = {
+        name: _time_kernel(fn, _LOOPS[name], repeats) for name, fn in kernels.items()
+    }
+    return {
+        "meta": {
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "scale": scale,
+            "repeats": repeats,
+        },
+        "kernels": results,
+    }
+
+
+def write_results(results: dict, path: str | Path) -> Path:
+    p = Path(path)
+    p.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return p
+
+
+def load_results(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def compare_results(baseline: dict, current: dict) -> list[dict]:
+    """Per-kernel delta of ``current`` vs ``baseline`` (best-of times).
+
+    ``delta`` is the fractional change of the current best over the
+    baseline best: positive = slower than the baseline.
+    """
+    rows = []
+    for name in sorted(set(baseline["kernels"]) | set(current["kernels"])):
+        b = baseline["kernels"].get(name)
+        c = current["kernels"].get(name)
+        if b is None or c is None:
+            rows.append({"kernel": name, "baseline_us": b and b["best_us"],
+                         "current_us": c and c["best_us"], "delta": None})
+            continue
+        rows.append({
+            "kernel": name,
+            "baseline_us": b["best_us"],
+            "current_us": c["best_us"],
+            "delta": c["best_us"] / b["best_us"] - 1.0,
+        })
+    return rows
+
+
+def format_results(results: dict) -> str:
+    lines = ["kernel                  best (µs)   mean (µs)",
+             "-" * 45]
+    for name, r in sorted(results["kernels"].items()):
+        lines.append(f"{name:<22}{r['best_us']:>11.1f}{r['mean_us']:>12.1f}")
+    return "\n".join(lines)
+
+
+def format_comparison(rows: list[dict], *, threshold: float = 0.05) -> str:
+    lines = ["kernel                  baseline µs  current µs    delta",
+             "-" * 56]
+    for row in rows:
+        if row["delta"] is None:
+            lines.append(f"{row['kernel']:<24}{'(missing on one side)'}")
+            continue
+        flag = "  <-- regression" if row["delta"] > threshold else ""
+        lines.append(
+            f"{row['kernel']:<24}{row['baseline_us']:>11.1f}"
+            f"{row['current_us']:>12.1f}{row['delta']:>+9.1%}{flag}"
+        )
+    return "\n".join(lines)

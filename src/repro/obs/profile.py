@@ -1,0 +1,55 @@
+"""Profiling hooks for the discrete-event simulator.
+
+:class:`SimProfiler` attaches to a :class:`~repro.sim.engine.Simulator`
+(``sim.profiler = SimProfiler(metrics)`` or :meth:`SimProfiler.attach`)
+and, for every fired event, records
+
+* a ``sim.step`` timer sample (wall + CPU time of the callback), and
+* a ``sim.queue_depth`` distribution sample (pending entries at fire
+  time — the backlog the event engine is working against).
+
+The engine guards the hook with a plain ``is None`` check, so an
+unprofiled simulator pays one attribute load per event and nothing
+else.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable
+
+from .registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+__all__ = ["SimProfiler"]
+
+
+class SimProfiler:
+    """Per-event timing and queue-depth sampling for one simulator."""
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+        self.events_profiled = 0
+
+    def attach(self, sim: "Simulator") -> "SimProfiler":
+        sim.profiler = self
+        return self
+
+    def run(self, sim: "Simulator", callback: Callable[[], None]) -> None:
+        """Execute one event callback under the profiler."""
+        # len() of the raw heap (cancelled entries included) is O(1);
+        # Simulator.pending would scan the queue per event.
+        self.metrics.observe("sim.queue_depth", len(sim._queue))  # noqa: SLF001
+        w0 = time.perf_counter()
+        c0 = time.process_time()
+        try:
+            callback()
+        finally:
+            self.metrics.record_timing(
+                "sim.step",
+                time.perf_counter() - w0,
+                time.process_time() - c0,
+            )
+            self.events_profiled += 1

@@ -1,0 +1,281 @@
+"""Structured event tracing: span trees for one operation's journey.
+
+The paper argues its costs hop by hop (Fig. 2's publish/forward chain,
+the §3.5 walk, the (1 + k/c)·O(log N) accounting of §3.5.2), so the
+observability layer records exactly that shape: a **span** per logical
+operation (``publish``, ``retrieve``, ``find``, ``route``) with nested
+child spans and zero-duration **events** for the individual steps
+(``hop``, ``displace``, ``walk``, ``fetch``, ``replicate``, ``fail``).
+Rendering a span with :func:`render_trace_tree` reproduces the per-hop
+breakdown tables distributed-LSH papers print.
+
+Tracing is synchronous and stack-shaped, matching the simulator: the
+bus keeps one open-span stack, ``span()`` pushes, exiting the context
+pops.  :class:`NullTraceBus` is the disabled twin — every method is a
+no-op and ``enabled`` is False so hot loops can skip even the call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Iterator, Optional
+
+__all__ = [
+    "Span",
+    "TraceBus",
+    "NullTraceBus",
+    "NULL_TRACER",
+    "render_trace_tree",
+]
+
+
+class Span:
+    """One traced operation: kind, attributes, children, wall-clock bounds.
+
+    A span doubles as a context manager (``with bus.span(...) as sp:``);
+    exiting finishes it on the owning bus.  ``t_end == t_start`` marks a
+    zero-duration event (a single hop / walk step / chain link).
+    """
+
+    __slots__ = ("kind", "span_id", "attrs", "children", "t_start", "t_end", "_bus")
+
+    def __init__(self, kind: str, span_id: int, t_start: float, bus: "TraceBus") -> None:
+        self.kind = kind
+        self.span_id = span_id
+        self.attrs: dict[str, object] = {}
+        self.children: list[Span] = []
+        self.t_start = t_start
+        self.t_end: Optional[float] = None
+        self._bus = bus
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._bus.finish(self)
+        return False
+
+    # -- mutation ----------------------------------------------------------
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.t_end is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock span duration (0.0 for events and unfinished spans)."""
+        return 0.0 if self.t_end is None else self.t_end - self.t_start
+
+    @property
+    def is_event(self) -> bool:
+        return self.t_end is not None and self.t_end == self.t_start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-able representation (exported next to ``results/``)."""
+        return {
+            "kind": self.kind,
+            "id": self.span_id,
+            "attrs": dict(self.attrs),
+            "duration_s": self.duration_s,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.kind!r}, id={self.span_id}, attrs={self.attrs})"
+
+
+class TraceBus:
+    """Collects span trees from instrumented code paths.
+
+    ``clock`` is injectable for deterministic tests.  Roots accumulate
+    until :meth:`clear`; the demo/CLI sessions this repo runs are small
+    enough that unbounded retention is fine, and ``max_roots`` caps it
+    for long-lived systems (oldest roots are dropped first).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        *,
+        max_roots: Optional[int] = None,
+    ) -> None:
+        self._clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+        self.max_roots = max_roots
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, kind: str, **attrs: object) -> Span:
+        """Open a span nested under the currently open one (if any)."""
+        sp = Span(kind, next(self._ids), self._clock(), self)
+        if attrs:
+            sp.attrs.update(attrs)
+        if self._stack:
+            self._stack[-1].children.append(sp)
+        else:
+            self.roots.append(sp)
+            if self.max_roots is not None and len(self.roots) > self.max_roots:
+                del self.roots[: len(self.roots) - self.max_roots]
+        self._stack.append(sp)
+        return sp
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` (and any still-open descendants above it)."""
+        if span.t_end is not None:
+            return
+        now = self._clock()
+        if span not in self._stack:
+            # Already popped by an ancestor's finish: just stamp it.
+            span.t_end = now
+            return
+        while self._stack:
+            top = self._stack.pop()
+            if top.t_end is None:
+                top.t_end = now
+            if top is span:
+                return
+
+    def event(self, kind: str, **attrs: object) -> Span:
+        """Record a zero-duration child of the open span (or a root)."""
+        sp = Span(kind, next(self._ids), self._clock(), self)
+        sp.t_end = sp.t_start
+        if attrs:
+            sp.attrs.update(attrs)
+        if self._stack:
+            self._stack[-1].children.append(sp)
+        else:
+            self.roots.append(sp)
+        return sp
+
+    # -- consumption -------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def iter_spans(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, kind: str) -> list[Span]:
+        """Every recorded span/event of one kind, in creation order."""
+        return [s for s in self.iter_spans() if s.kind == kind]
+
+    def clear(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+    def to_dicts(self) -> list[dict]:
+        return [r.to_dict() for r in self.roots]
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by :class:`NullTraceBus`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTraceBus:
+    """Disabled tracer: every operation is a no-op, ``enabled`` is False.
+
+    Hot loops guard per-step emissions with ``if tracer.enabled`` so the
+    disabled cost is one attribute load; coarser once-per-operation
+    spans go through the shared null span, whose enter/exit are empty.
+    """
+
+    enabled = False
+    roots: list = []
+
+    def span(self, kind: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def finish(self, span: object) -> None:
+        pass
+
+    def event(self, kind: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def find(self, kind: str) -> list:
+        return []
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def clear(self) -> None:
+        pass
+
+    def to_dicts(self) -> list:
+        return []
+
+
+NULL_TRACER = NullTraceBus()
+
+
+def _format_attrs(attrs: dict[str, object]) -> str:
+    return " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+def render_trace_tree(span: Span, *, min_duration_us: float = 50.0) -> str:
+    """Render one span tree as an indented, box-drawn text tree.
+
+    Durations are printed for real spans that took at least
+    ``min_duration_us`` (events and faster spans stay clean — at
+    simulator speed most steps are sub-microsecond bookkeeping).
+    """
+    lines: list[str] = []
+
+    def label(sp: Span) -> str:
+        parts = [sp.kind]
+        a = _format_attrs(sp.attrs)
+        if a:
+            parts.append(a)
+        if not sp.is_event and sp.duration_s * 1e6 >= min_duration_us:
+            parts.append(f"[{sp.duration_s * 1e3:.2f} ms]")
+        return " ".join(parts)
+
+    def emit(sp: Span, prefix: str, child_prefix: str) -> None:
+        lines.append(prefix + label(sp))
+        n = len(sp.children)
+        for i, child in enumerate(sp.children):
+            last = i == n - 1
+            emit(
+                child,
+                child_prefix + ("└─ " if last else "├─ "),
+                child_prefix + ("   " if last else "│  "),
+            )
+
+    emit(span, "", "")
+    return "\n".join(lines)

@@ -23,9 +23,6 @@ import abc
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
-import numpy as np
-
-from ..sim.metrics import MetricSink
 from ..sim.network import Network
 from ..sim.node import PeerNode
 from .idspace import KeySpace, SortedKeyRing

@@ -133,7 +133,25 @@ class ChordOverlay(Overlay):
             raise RoutingError(f"origin {origin} is dead")
         budget = _MAX_ROUTE_HOPS if max_hops is None else max_hops
         result = RouteResult(origin=origin, key=key, home=None, path=[origin])
-        current = origin
+        tracer = self.network.obs.tracer
+        if not tracer.enabled:
+            self._greedy_route(result, key, kind, budget, None)
+            return result
+        with tracer.span("route", origin=origin, key=key, msg_kind=kind) as sp:
+            self._greedy_route(result, key, kind, budget, tracer)
+            sp.set(hops=result.hops, home=result.home, ok=result.succeeded)
+        return result
+
+    def _greedy_route(
+        self,
+        result: RouteResult,
+        key: int,
+        kind: str,
+        budget: int,
+        tracer,
+    ) -> None:
+        """Chord forwarding loop; fills ``result`` in place."""
+        current = result.origin
         while True:
             nxt = self._next_hop(current, key)
             if nxt is None:
@@ -141,14 +159,15 @@ class ChordOverlay(Overlay):
             if result.hops >= budget:
                 result.succeeded = False
                 result.home = current
-                return result
+                return
             self.network.send(current, nxt, kind)
+            if tracer is not None:
+                tracer.event("hop", src=current, dst=nxt)
             result.path.append(nxt)
             current = nxt
         result.home = current
         live_best = self.live_home(key)
         result.succeeded = live_best is not None and current == live_best
-        return result
 
     def _live_predecessor(self, node_id: int, max_scan: int = 64) -> Optional[int]:
         """Nearest live counter-clockwise node, scanning past dead ones."""

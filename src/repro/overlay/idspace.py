@@ -17,8 +17,8 @@ arrays and are used for corpus-scale key math.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 import numpy as np
 

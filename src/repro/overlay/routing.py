@@ -16,9 +16,12 @@ searches, while queries only ever touch the rows on their paths.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .idspace import KeySpace, SortedKeyRing
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Observability
 
 __all__ = ["DigitCodec", "PrefixRoutingTable"]
 
@@ -93,11 +96,14 @@ class PrefixRoutingTable:
         codec: DigitCodec,
         ring: SortedKeyRing,
         selector: Optional[EntrySelector] = None,
+        *,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.owner_id = owner_id
         self.codec = codec
         self._ring = ring
         self._selector = selector
+        self._obs = obs
         self._rows: dict[int, list[Optional[int]]] = {}
 
     def rebind(self, ring: SortedKeyRing) -> None:
@@ -124,6 +130,10 @@ class PrefixRoutingTable:
                 cands = self._ring.range_keys(lo, hi, limit=self.CANDIDATE_LIMIT)
                 entries.append(self._selector(self.owner_id, cands))
         self._rows[r] = entries
+        if self._obs is not None and self._obs.enabled:
+            # Lazy materialisation is the table's core cost trade; count
+            # it so `stats` can show how much of the table queries touch.
+            self._obs.metrics.counter("routing.rows_built")
         return entries
 
     def entry(self, r: int, digit: int) -> Optional[int]:

@@ -102,7 +102,9 @@ class TornadoOverlay(Overlay):
                 def selector(owner: int, candidates: list[int]):
                     return lmap.nearest(owner, candidates)
 
-            table = PrefixRoutingTable(node_id, self.codec, self._view, selector)
+            table = PrefixRoutingTable(
+                node_id, self.codec, self._view, selector, obs=self.network.obs
+            )
             self._tables[node_id] = table
         return table
 
@@ -150,7 +152,53 @@ class TornadoOverlay(Overlay):
             raise RoutingError(f"origin {origin} is dead")
         budget = _MAX_ROUTE_HOPS if max_hops is None else max_hops
         result = RouteResult(origin=origin, key=key, home=None, path=[origin])
-        current = origin
+        tracer = self.network.obs.tracer
+        if not tracer.enabled:
+            # Hot path: a hand-inlined mirror of _greedy_route with no
+            # tracer checks at all (see OBSERVABILITY.md on the
+            # zero-cost-when-disabled contract for this kernel).  Keep
+            # the two loops in sync.
+            current = origin
+            dist = self.space.ring_distance
+            send = self.network.send
+            is_alive = self.network.is_alive
+            while True:
+                best = current
+                best_d = dist(current, key)
+                for cand in self._candidates(current, key):
+                    if not is_alive(cand):
+                        continue
+                    d = dist(cand, key)
+                    if d < best_d or (d == best_d and cand < best):
+                        best, best_d = cand, d
+                if best == current:
+                    break
+                if result.hops >= budget:
+                    result.succeeded = False
+                    result.home = current
+                    return result
+                send(current, best, kind)
+                result.path.append(best)
+                current = best
+            result.home = current
+            live_best = self.live_home(key)
+            result.succeeded = live_best is not None and current == live_best
+            return result
+        with tracer.span("route", origin=origin, key=key, msg_kind=kind) as sp:
+            self._greedy_route(result, key, kind, budget, tracer)
+            sp.set(hops=result.hops, home=result.home, ok=result.succeeded)
+        return result
+
+    def _greedy_route(
+        self,
+        result: RouteResult,
+        key: int,
+        kind: str,
+        budget: int,
+        tracer,
+    ) -> None:
+        """Greedy strict-descent loop; fills ``result`` in place."""
+        current = result.origin
         dist = self.space.ring_distance
         while True:
             best = current
@@ -166,15 +214,16 @@ class TornadoOverlay(Overlay):
             if result.hops >= budget:
                 result.succeeded = False
                 result.home = current
-                return result
+                return
             self.network.send(current, best, kind)
+            if tracer is not None:
+                tracer.event("hop", src=current, dst=best)
             result.path.append(best)
             current = best
         result.home = current
         # The route "succeeded" if it reached the best live node for the key.
         live_best = self.live_home(key)
         result.succeeded = live_best is not None and current == live_best
-        return result
 
     def _candidates(self, current: int, key: int) -> Iterator[int]:
         yield from self._table(current).next_hop_candidates(key)

@@ -16,13 +16,22 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.profile import SimProfiler
 
 __all__ = ["Simulator", "ScheduledEvent", "CancelledError"]
 
 
 class CancelledError(RuntimeError):
-    """Raised when interacting with a cancelled event handle."""
+    """Retained for API compatibility; cancellation no longer raises.
+
+    ``ScheduledEvent.cancel`` used to raise this on double-cancel, which
+    made teardown paths (stop a task, then cancel its handle, then tear
+    down the simulator) order-sensitive and brittle.  Cancel is now
+    idempotent; nothing in the engine raises this anymore.
+    """
 
 
 @dataclass(order=True)
@@ -50,9 +59,7 @@ class ScheduledEvent:
         return self._entry.cancelled
 
     def cancel(self) -> None:
-        """Cancel the event.  Cancelling twice is an error."""
-        if self._entry.cancelled:
-            raise CancelledError("event already cancelled")
+        """Cancel the event.  Idempotent: cancelling twice is a no-op."""
         self._entry.cancelled = True
 
 
@@ -72,6 +79,10 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._events_fired = 0
+        #: Optional :class:`repro.obs.SimProfiler`; when set, every fired
+        #: event is timed and the queue depth sampled.  Checked with a
+        #: plain ``is None`` so unprofiled runs pay nothing.
+        self.profiler: Optional["SimProfiler"] = None
 
     @property
     def now(self) -> float:
@@ -126,7 +137,10 @@ class Simulator:
                 continue
             self._now = entry.time
             self._events_fired += 1
-            entry.callback()
+            if self.profiler is None:
+                entry.callback()
+            else:
+                self.profiler.run(self, entry.callback)
             return True
         return False
 
@@ -180,7 +194,7 @@ class PeriodicTask:
         return self._stopped
 
     def stop(self) -> None:
-        """Stop the task; pending firing is cancelled."""
+        """Stop the task; pending firing is cancelled.  Idempotent."""
         self._stopped = True
-        if self._handle is not None and not self._handle.cancelled:
+        if self._handle is not None:
             self._handle.cancel()

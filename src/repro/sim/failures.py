@@ -45,6 +45,10 @@ def fail_fraction(
     chosen = rng.choice(len(candidates), size=n_fail, replace=False)
     failed = [candidates[i] for i in chosen]
     network.fail_nodes(failed)
+    obs = network.obs
+    if obs.enabled:
+        obs.metrics.counter("failures.batch_failed", len(failed))
+        obs.tracer.event("fail", count=len(failed), fraction=round(fraction, 4))
     return failed
 
 
@@ -115,6 +119,10 @@ class ChurnProcess:
             victim = alive[int(self.rng.integers(0, len(alive)))]
             self.network.node(victim).fail()
             self.stats.departures += 1
+            obs = self.network.obs
+            if obs.enabled:
+                obs.metrics.counter("churn.departures")
+                obs.tracer.event("fail", node=victim, cause="churn")
             if self.on_depart is not None:
                 self.on_depart(victim)
         self._schedule_departure()
@@ -123,6 +131,8 @@ class ChurnProcess:
         if not self._running:
             return
         self.stats.arrivals += 1
+        if self.network.obs.enabled:
+            self.network.obs.metrics.counter("churn.arrivals")
         if self.on_arrive is not None:
             self.on_arrive()
         self._schedule_arrival()

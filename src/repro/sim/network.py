@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Optional
 
+from ..obs import NULL_OBS, Observability
 from .engine import Simulator
 from .metrics import MetricSink
 from .node import PeerNode
@@ -38,15 +39,24 @@ class Network:
         Metric sink to charge; a fresh one is created when omitted.
     simulator:
         Optional event engine for latency-based delivery.
+    obs:
+        Observability bundle (trace bus + metrics registry).  Defaults
+        to the shared disabled instance; every layer above reads it off
+        the network, which keeps the fabric the single wiring point.
     """
 
     def __init__(
         self,
         sink: Optional[MetricSink] = None,
         simulator: Optional[Simulator] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.sink = sink if sink is not None else MetricSink()
         self.simulator = simulator
+        self.obs = obs if obs is not None else NULL_OBS
+        # Cached flag: send()/send_after() sit on the routing hot path,
+        # so the disabled check must be a single attribute load.
+        self._obs_on = self.obs.enabled
         self._nodes: dict[int, PeerNode] = {}
 
     # -- membership --------------------------------------------------------
@@ -100,6 +110,9 @@ class Network:
         then :class:`DeadNodeError` is raised.
         """
         self.sink.charge(kind)
+        if self._obs_on:
+            self.obs.metrics.counter(f"net.sent.{kind}")
+            self.obs.metrics.bucket("net.node_inbox", dst)
         node = self._nodes.get(dst)
         if node is None or not node.alive:
             raise DeadNodeError(f"destination {dst} is not alive (from {src})")
@@ -129,6 +142,9 @@ class Network:
         if self.simulator is None:
             raise RuntimeError("Network has no simulator attached")
         self.sink.charge(kind)
+        if self._obs_on:
+            self.obs.metrics.counter(f"net.sent.{kind}")
+            self.obs.metrics.bucket("net.node_inbox", dst)
 
         def _deliver() -> None:
             node = self._nodes.get(dst)

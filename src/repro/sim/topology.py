@@ -18,7 +18,6 @@ Two standard embeddings:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 import numpy as np

@@ -20,9 +20,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional, TextIO
-
-import numpy as np
+from typing import Optional, TextIO
 
 from ..vsm.sparse import Corpus
 

@@ -1,0 +1,193 @@
+"""Unit tests for the structured trace bus."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTraceBus, TraceBus, render_trace_tree
+
+
+class FakeClock:
+    """Deterministic, manually advanced clock for the bus."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def bus(clock):
+    return TraceBus(clock=clock)
+
+
+class TestSpanLifecycle:
+    def test_span_context_manager_finishes(self, bus, clock):
+        with bus.span("route", origin=1) as sp:
+            clock.advance(0.5)
+        assert sp.finished
+        assert sp.duration_s == pytest.approx(0.5)
+
+    def test_root_recorded(self, bus):
+        with bus.span("publish"):
+            pass
+        assert [r.kind for r in bus.roots] == ["publish"]
+
+    def test_nesting_parents_children(self, bus):
+        with bus.span("publish") as outer:
+            with bus.span("route") as inner:
+                pass
+        assert outer.children == [inner]
+        assert bus.roots == [outer]
+
+    def test_set_attrs_chainable(self, bus):
+        with bus.span("route") as sp:
+            sp.set(hops=3).set(ok=True)
+        assert sp.attrs == {"hops": 3, "ok": True}
+
+    def test_unfinished_span_duration_zero(self, bus, clock):
+        sp = bus.span("route")
+        clock.advance(1.0)
+        assert not sp.finished
+        assert sp.duration_s == 0.0
+
+    def test_finish_is_idempotent(self, bus, clock):
+        sp = bus.span("route")
+        bus.finish(sp)
+        end = sp.t_end
+        clock.advance(1.0)
+        bus.finish(sp)
+        assert sp.t_end == end
+
+    def test_finishing_parent_closes_open_children(self, bus):
+        outer = bus.span("publish")
+        inner = bus.span("route")
+        bus.finish(outer)
+        assert inner.finished
+        assert bus.depth == 0
+
+    def test_finish_out_of_stack_only_stamps(self, bus):
+        # A span popped by its ancestor's finish can still be finished
+        # later without disturbing unrelated open spans.
+        outer = bus.span("publish")
+        inner = bus.span("route")
+        bus.finish(outer)
+        other = bus.span("retrieve")
+        bus.finish(inner)  # already closed and off the stack
+        assert bus.depth == 1  # `other` must survive
+        bus.finish(other)
+
+
+class TestEvents:
+    def test_event_is_zero_duration_child(self, bus, clock):
+        with bus.span("route") as sp:
+            clock.advance(0.1)
+            ev = bus.event("hop", src=1, dst=2)
+        assert ev in sp.children
+        assert ev.is_event
+        assert ev.duration_s == 0.0
+        assert ev.attrs == {"src": 1, "dst": 2}
+
+    def test_event_without_open_span_is_root(self, bus):
+        ev = bus.event("fail", count=3)
+        assert bus.roots == [ev]
+
+    def test_span_is_not_event_even_when_instant(self, bus):
+        # A span that happens to take zero clock time is still a span.
+        with bus.span("route") as sp:
+            pass
+        assert sp.is_event  # t_end == t_start under the frozen clock
+        ev = bus.event("hop")
+        assert ev.is_event
+
+
+class TestConsumption:
+    def test_find_by_kind_in_order(self, bus):
+        with bus.span("publish"):
+            bus.event("displace", item=1)
+            bus.event("displace", item=2)
+        assert [e.attrs["item"] for e in bus.find("displace")] == [1, 2]
+
+    def test_walk_depth_first(self, bus):
+        with bus.span("retrieve"):
+            with bus.span("route"):
+                bus.event("hop")
+            bus.event("walk")
+        kinds = [s.kind for s in bus.roots[0].walk()]
+        assert kinds == ["retrieve", "route", "hop", "walk"]
+
+    def test_clear(self, bus):
+        bus.span("route")
+        bus.clear()
+        assert bus.roots == []
+        assert bus.depth == 0
+
+    def test_max_roots_drops_oldest(self, clock):
+        capped = TraceBus(clock=clock, max_roots=2)
+        for i in range(4):
+            with capped.span("route", n=i):
+                pass
+        assert [r.attrs["n"] for r in capped.roots] == [2, 3]
+
+    def test_to_dict_roundtrips_shape(self, bus, clock):
+        with bus.span("publish", item=7) as sp:
+            clock.advance(0.25)
+            bus.event("displace", src=1, dst=2)
+        d = sp.to_dict()
+        assert d["kind"] == "publish"
+        assert d["attrs"] == {"item": 7}
+        assert d["duration_s"] == pytest.approx(0.25)
+        assert d["children"][0]["kind"] == "displace"
+
+
+class TestRender:
+    def test_tree_drawing(self, bus, clock):
+        with bus.span("publish", item=5):
+            with bus.span("route"):
+                bus.event("hop", src=1, dst=2)
+                bus.event("hop", src=2, dst=3)
+            bus.event("displace", src=3, dst=4)
+        text = render_trace_tree(bus.roots[0])
+        lines = text.splitlines()
+        assert lines[0].startswith("publish item=5")
+        assert "├─ route" in lines[1]
+        assert "│  ├─ hop src=1 dst=2" in text
+        assert "│  └─ hop src=2 dst=3" in text
+        assert "└─ displace src=3 dst=4" in text
+
+    def test_duration_printed_above_threshold_only(self, bus, clock):
+        with bus.span("slow") as sp:
+            clock.advance(0.001)
+        with bus.span("fast"):
+            clock.advance(0.000001)
+        assert "[1.00 ms]" in render_trace_tree(sp)
+        assert "ms]" not in render_trace_tree(bus.roots[1])
+
+
+class TestNullTraceBus:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert TraceBus().enabled is True
+
+    def test_all_operations_are_noops(self):
+        bus = NullTraceBus()
+        with bus.span("route", origin=1) as sp:
+            sp.set(hops=2)
+            bus.event("hop", src=1, dst=2)
+        assert bus.roots == []
+        assert bus.find("hop") == []
+        assert list(bus.iter_spans()) == []
+        assert bus.to_dicts() == []
+        bus.clear()  # must not raise
+
+    def test_shared_null_span(self):
+        a = NULL_TRACER.span("route")
+        b = NULL_TRACER.event("hop")
+        assert a is b

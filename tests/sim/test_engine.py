@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import CancelledError, Simulator
+from repro.sim.engine import Simulator
 
 
 class TestScheduling:
@@ -120,12 +120,15 @@ class TestCancellation:
         sim.run()
         assert fired == []
 
-    def test_double_cancel_raises(self):
+    def test_double_cancel_is_idempotent(self):
         sim = Simulator()
-        ev = sim.schedule(1.0, lambda: None)
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
         ev.cancel()
-        with pytest.raises(CancelledError):
-            ev.cancel()
+        ev.cancel()  # second cancel is a no-op, not an error
+        assert ev.cancelled
+        sim.run()
+        assert fired == []
 
     def test_cancelled_excluded_from_pending(self):
         sim = Simulator()
@@ -174,6 +177,25 @@ class TestPeriodicTask:
         task = sim.schedule_every(1.0, lambda: task.stop())
         sim.run(until=10.0)
         assert task.fire_count == 1
+
+    def test_double_stop_is_idempotent(self):
+        sim = Simulator()
+        task = sim.schedule_every(1.0, lambda: None)
+        task.stop()
+        task.stop()  # teardown paths may stop twice; must not raise
+        assert task.stopped
+        sim.run(until=5.0)
+        assert task.fire_count == 0
+
+    def test_stop_then_cancel_handle_directly(self):
+        # The brittle teardown order the old raising cancel broke:
+        # stop the task, then cancel its handle again explicitly.
+        sim = Simulator()
+        task = sim.schedule_every(1.0, lambda: None)
+        task.stop()
+        task._handle.cancel()
+        sim.run(until=3.0)
+        assert task.fire_count == 0
 
     def test_zero_interval_rejected(self):
         with pytest.raises(ValueError):

@@ -57,6 +57,22 @@ class TestMetricSink:
         assert a.count("r") == 3
         assert a.count("s") == 3
 
+    def test_merge_disjoint_categories(self):
+        a, b = MetricSink(), MetricSink()
+        a.charge("route", 2)
+        b.charge("flood", 5)
+        a.merge(b)
+        assert a.snapshot() == {"route": 2, "flood": 5}
+        assert b.snapshot() == {"flood": 5}  # the merged-from sink is untouched
+
+    def test_diff_against_disjoint_snapshot(self):
+        # A snapshot category the sink never charged must not appear in
+        # the diff (and must not go negative).
+        sink = MetricSink()
+        sink.charge("route", 2)
+        before = {"publish": 4}
+        assert sink.diff(before) == {"route": 2}
+
 
 class TestQueryTrace:
     def test_hops_is_path_minus_origin(self):
@@ -96,6 +112,20 @@ class TestHopHistogram:
         assert h.quantile(0.99) == 10
         assert h.quantile(1.0) == 10
 
+    def test_quantile_extremes(self):
+        h = HopHistogram()
+        h.extend([2, 5, 9])
+        # q=0 needs zero mass, satisfied by the smallest bin; q=1 needs
+        # all mass, satisfied only by the largest.
+        assert h.quantile(0.0) == 2
+        assert h.quantile(1.0) == 9
+
+    def test_quantile_extremes_single_bin(self):
+        h = HopHistogram()
+        h.add(4)
+        assert h.quantile(0.0) == 4
+        assert h.quantile(1.0) == 4
+
     def test_quantile_bounds_checked(self):
         h = HopHistogram()
         h.add(1)
@@ -131,3 +161,13 @@ class TestPercentileSummary:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             percentile_summary([])
+
+    def test_single_element(self):
+        s = percentile_summary([7.0])
+        assert s == {
+            "mean": 7.0,
+            "p50": 7.0,
+            "p95": 7.0,
+            "p99": 7.0,
+            "max": 7.0,
+        }

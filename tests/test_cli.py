@@ -40,3 +40,46 @@ class TestMain:
         monkeypatch.delenv("REPRO_SCALE", raising=False)
         assert main(["run", "table1", "--scale", "0.02"]) == 0
         assert os.environ["REPRO_SCALE"] == "0.02"
+
+
+class TestObservabilityVerbs:
+    def test_trace_prints_span_trees(self, capsys):
+        assert main(["trace", "fig7", "--scale", "0.1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        # Nested tree: a route span with per-hop child events.
+        assert "route" in out
+        assert "└─" in out or "├─" in out
+        assert "hop " in out or "walk " in out
+
+    def test_stats_renders_tables_and_check_passes(self, capsys):
+        assert main(["stats", "fig7", "--scale", "0.1", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "== counters ==" in out
+        assert "net.sent.publish" in out
+        assert "== timers (wall / cpu, ms) ==" in out
+        assert "stats --check OK" in out
+
+    def test_stats_out_writes_snapshot(self, capsys, tmp_path):
+        out_dir = tmp_path / "obs"
+        assert main(["stats", "--scale", "0.1", "--out", str(out_dir)]) == 0
+        assert (out_dir / "metrics.json").exists()
+        assert (out_dir / "metrics.csv").exists()
+
+    def test_bench_writes_and_compares(self, capsys, tmp_path):
+        snap = tmp_path / "BENCH_test.json"
+        assert main(["bench", "--scale", "0.02", "--repeats", "1",
+                     "--out", str(snap)]) == 0
+        assert snap.exists()
+        out = capsys.readouterr().out
+        assert "tornado_route" in out
+        # Comparing a run against an impossibly fast baseline must fail.
+        import json
+
+        doctored = json.loads(snap.read_text())
+        for kernel in doctored["kernels"].values():
+            kernel["best_us"] = 1e-6
+        fast = tmp_path / "BENCH_fast.json"
+        fast.write_text(json.dumps(doctored))
+        assert main(["bench", "--scale", "0.02", "--repeats", "1",
+                     "--against", str(fast)]) == 1
+        assert "regression" in capsys.readouterr().out
