@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--repeats", type=int, default=5, help="timing repeats")
     bench.add_argument(
+        "--kernels",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="comma-separated subset of kernels to run (default: all)",
+    )
+    bench.add_argument(
         "--out", default=None, metavar="FILE", help="write the snapshot JSON to FILE"
     )
     bench.add_argument(
@@ -225,7 +231,16 @@ def _cmd_stats(args) -> int:
 def _cmd_bench(args) -> int:
     from .obs import bench
 
-    results = bench.run_benchmarks(scale=args.scale, repeats=args.repeats)
+    kernels = None
+    if args.kernels is not None:
+        kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
+    try:
+        results = bench.run_benchmarks(
+            scale=args.scale, repeats=args.repeats, kernels=kernels
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
     print(bench.format_results(results))
     if args.out is not None:
         path = bench.write_results(results, args.out)

@@ -46,7 +46,7 @@ from .firsthop import FirstHopSelector
 from .knees import equalizer_from_sample
 from .loadbalance import HotRegionNamer, detect_hot_regions, uniform_namer
 from .naming import CdfEqualizer, angle_to_key, corpus_to_keys
-from .publish import PublishResult, ReplacementPolicy, publish_item
+from .publish import PublishResult, ReplacementPolicy, batch_publish, publish_item
 from .replication import ReplicationManager
 from .search import (
     Discovery,
@@ -128,6 +128,26 @@ class NodeState:
             self.remove(item.item_id)
         self.index.add(item)
         bisect.insort(self._ladder, (item.angle_key, item.item_id))
+
+    def add_many(
+        self,
+        items: Sequence[StoredItem],
+        norms: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Bulk :meth:`add`: one index pass plus a single ladder re-sort.
+
+        Equivalent to adding the items one at a time in any order (the
+        ladder is a sorted structure, so insertion order never shows).
+        ``norms`` optionally parallels ``items`` with precomputed
+        Euclidean norms (see ``LocalVsmIndex.add_many``)."""
+        index = self.index
+        for item in items:
+            if item.item_id in index:
+                self.remove(item.item_id)
+        index.add_many(items, norms)
+        ladder = self._ladder
+        ladder.extend((it.angle_key, it.item_id) for it in items)
+        ladder.sort()
 
     def remove(self, item_id: int) -> StoredItem:
         item = self.index.remove(item_id)
@@ -360,6 +380,25 @@ class Meteorograph:
         if self.notifications is not None and not item.is_replica:
             self.notifications.on_stored(node_id, item)
 
+    def store_run(
+        self,
+        node_id: int,
+        items: Sequence[StoredItem],
+        norms: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Bulk :meth:`store_at`: a run of items landing on one node.
+
+        Semantically identical to calling ``store_at`` per item; used by
+        the displacement-free branch of batch publish, where the ring
+        sweep drops each node's whole run off in one message.  ``norms``
+        optionally parallels ``items`` (see ``NodeState.add_many``)."""
+        self.network.node(node_id).store_many(items)
+        self.state(node_id).add_many(items, norms)
+        if self.notifications is not None:
+            for item in items:
+                if not item.is_replica:
+                    self.notifications.on_stored(node_id, item)
+
     def evict_from(self, node_id: int, item_id: int) -> StoredItem:
         self.state(node_id).remove(item_id)
         return self.network.node(node_id).evict(item_id)
@@ -369,6 +408,14 @@ class Meteorograph:
 
     def register_published(self, item_id: int, angle_key: int, publish_key: int) -> None:
         self._published[item_id] = (angle_key, publish_key)
+
+    def register_published_many(
+        self, item_ids: np.ndarray, angle_keys: np.ndarray, publish_keys: np.ndarray
+    ) -> None:
+        """Vectorised :meth:`register_published` for whole-corpus publishes."""
+        self._published.update(
+            zip(item_ids.tolist(), zip(angle_keys.tolist(), publish_keys.tolist()))
+        )
 
     def published_key_of(self, item_id: int) -> int:
         try:
@@ -435,12 +482,25 @@ class Meteorograph:
         *,
         item_ids: Optional[Sequence[int]] = None,
         origin: Optional[int] = None,
+        batch: Optional[bool] = None,
     ) -> list[PublishResult]:
         """Publish every corpus row (keys batch-computed, vectorised).
 
-        Each item is published from a uniformly random live node unless
-        ``origin`` pins one.  ``item_ids`` renames rows (default: row
-        index).
+        ``batch=None`` (auto, the default) takes the single-sweep fast
+        path — :func:`repro.core.publish.batch_publish` — whenever the
+        configuration allows it: no directory pointers and no
+        replication, both of which need the per-item protocol.
+        ``batch=False`` forces the sequential per-item loop (the
+        reference semantics); ``batch=True`` asserts the fast path and
+        raises if the configuration cannot take it.  Placements and
+        displacement accounting are identical either way; route-message
+        accounting differs by design (1 route + ring sweep instead of
+        one route per item).
+
+        In sequential mode each item is published from a uniformly
+        random live node unless ``origin`` pins one; batch mode draws
+        (or is pinned to) a single origin for its one route.
+        ``item_ids`` renames rows (default: row index).
         """
         angle_keys, publish_keys = self.corpus_keys(corpus)
         ids = (
@@ -453,12 +513,43 @@ class Meteorograph:
         alive = [nid for nid in self.overlay.ring if self.network.is_alive(nid)]
         if not alive:
             raise RuntimeError("no live nodes to publish from")
+        can_batch = not self.config.directory_pointers and self.replication is None
+        if batch is True and not can_batch:
+            raise ValueError(
+                "batch publish supports neither directory pointers nor replication"
+            )
+        if can_batch if batch is None else batch:
+            ids_l = ids.tolist()
+            pk_l = publish_keys.tolist()
+            ak_l = angle_keys.tolist()
+            items = [
+                StoredItem(
+                    item_id=ids_l[i],
+                    publish_key=pk_l[i],
+                    angle_key=ak_l[i],
+                    keyword_ids=kw,
+                    weights=np.asarray(w, dtype=np.float64),
+                )
+                for i, kw, w in corpus.row_slices()
+            ]
+            src = origin if origin is not None else alive[int(rng.integers(0, len(alive)))]
+            results = batch_publish(
+                self,
+                items,
+                origin=src,
+                hop_budget=self.config.hop_budget,
+                policy=self.config.replacement_policy,
+                keys=publish_keys,
+                norms=corpus.norms(),
+            )
+            self.register_published_many(ids, angle_keys, publish_keys)
+            return results
         origins = (
             rng.integers(0, len(alive), size=corpus.n_items)
             if origin is None
             else None
         )
-        results: list[PublishResult] = []
+        results = []
         for row, (i, kw, w) in enumerate(corpus.row_slices()):
             src = origin if origin is not None else alive[int(origins[row])]
             res = publish_item(

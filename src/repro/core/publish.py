@@ -27,17 +27,25 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from ..overlay.idspace import KeySpace
 from ..sim.node import StoredItem
 from ..vsm.sparse import SparseVector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .meteorograph import Meteorograph
 
-__all__ = ["ReplacementPolicy", "PublishResult", "publish_item", "run_displacement_chain"]
+__all__ = [
+    "ReplacementPolicy",
+    "PublishResult",
+    "publish_item",
+    "run_displacement_chain",
+    "batch_publish",
+    "batch_live_homes",
+]
 
 
 class ReplacementPolicy(enum.Enum):
@@ -125,17 +133,20 @@ def run_displacement_chain(
         if not node.is_full:
             system.store_at(current, incoming)
             return result
-        if budget is not None and budget <= 0:
-            # Fig. 2: "if (c = 0) reply a publishing failure" — the item
-            # in flight (original or displaced victim) is dropped.
-            result.success = False
-            result.dropped_item_id = incoming.item_id
-            return result
         victim = _pick_victim(system, current, incoming, policy)
         if victim.item_id != incoming.item_id:
             system.evict_from(current, victim.item_id)
             system.store_at(current, incoming)
         # else: incoming itself continues down the chain unstored.
+        if budget is not None and budget <= 0:
+            # Fig. 2: "if (c = 0) reply a publishing failure" — but the
+            # swap above has already happened at this terminal node, so
+            # what drops is the chain's final displaced *victim*, never
+            # the in-flight incoming item (unless the policy picked the
+            # incoming itself as least similar).
+            result.success = False
+            result.dropped_item_id = victim.item_id
+            return result
         next_id = next(frontier, None)
         if next_id is None:
             # No node left in the overlay can take the victim.
@@ -207,3 +218,160 @@ def publish_item(
             ok=result.success,
         )
     return result
+
+
+def batch_live_homes(
+    space: KeySpace, live_sorted: np.ndarray, keys: np.ndarray
+) -> np.ndarray:
+    """Vectorised ``SortedKeyRing.closest`` over a sorted live-node array.
+
+    Mirrors the scalar tie-break exactly (equidistant → smaller id), so
+    batch and per-item publishes agree on every home.
+    """
+    if live_sorted.size == 0:
+        raise ValueError("no live nodes")
+    n = live_sorted.size
+    keys = np.asarray(keys, dtype=np.int64)
+    i = np.searchsorted(live_sorted, keys)
+    succ = live_sorted[i % n]
+    pred = live_sorted[(i - 1) % n]
+    m = space.modulus
+    ds = np.abs(succ - keys) % m
+    ds = np.minimum(ds, m - ds)
+    dp = np.abs(pred - keys) % m
+    dp = np.minimum(dp, m - dp)
+    return np.where(ds < dp, succ, np.where(dp < ds, pred, np.minimum(succ, pred)))
+
+
+def batch_publish(
+    system: "Meteorograph",
+    items: Sequence[StoredItem],
+    *,
+    origin: int,
+    hop_budget: Optional[int] = None,
+    policy: ReplacementPolicy = ReplacementPolicy.ANGLE,
+    keys: Optional[np.ndarray] = None,
+    norms: Optional[np.ndarray] = None,
+) -> list[PublishResult]:
+    """Single-sweep batch placement (Mercury-style locality batching).
+
+    Instead of one O(log N) route per item, the batch computes every
+    item's live home vectorised, routes **once** to the home of the
+    smallest publish key, then walks the ring in key order delivering
+    each node's run of items — N routes collapse to 1 route plus a ring
+    sweep of at most ~N_nodes ``publish`` messages.
+
+    Placement semantics are identical to publishing the items one at a
+    time in list order:
+
+    * infinite capacity — items simply store at their homes (placement
+      is order-free); this branch runs no displacement machinery at all;
+    * finite capacity — each item runs the standard Fig. 2 displacement
+      chain at its home, in list order, so placements, ``success``,
+      ``dropped_item_id`` and ``displacement_hops`` match the
+      sequential loop exactly (the equivalence property test in
+      ``tests/core/test_batch_publish.py`` pins this).
+
+    Only *route* accounting differs, by design: each item's
+    ``route_hops`` is the marginal number of sweep messages spent to
+    first reach its home (the first item also carries the real route's
+    hops), so ``sum(r.route_hops)`` equals the messages actually
+    charged on the network.
+
+    ``keys`` optionally supplies the items' publish keys as an int64
+    array and ``norms`` their Euclidean norms (``Corpus.norms``) —
+    callers that batch-computed either for the whole corpus skip the
+    per-item recomputation here.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    if keys is None:
+        keys = np.fromiter((it.publish_key for it in items), dtype=np.int64, count=n)
+    elif len(keys) != n:
+        raise ValueError("keys must parallel items")
+    network = system.network
+    live = [nid for nid in system.overlay.ring if network.is_alive(nid)]
+    if not live:
+        raise RuntimeError("no live nodes to publish to")
+    live_sorted = np.asarray(live, dtype=np.int64)  # ring iterates in key order
+    homes = batch_live_homes(system.space, live_sorted, keys)
+    order = np.argsort(keys, kind="stable")
+    obs = network.obs
+    tracer = obs.tracer
+    results: list[Optional[PublishResult]] = [None] * n
+    with tracer.span("publish_batch", items=n) as sp:
+        route = system.overlay.route(origin, int(keys[order[0]]), kind="publish")
+        assert route.home is not None
+        # Ring sweep: advance clockwise over live nodes, charging one
+        # publish message per step; record each item's marginal cost.
+        # Because items are visited in key order the per-item step counts
+        # are just modular position differences along the live ring —
+        # computed vectorised, with one short loop (~N_nodes iterations,
+        # not ~N_items) left to charge the per-step messages.
+        homes_l = homes.tolist()
+        order_l = order.tolist()
+        send = network.send
+        m = len(live)
+        pos_sorted = np.searchsorted(live_sorted, homes[order])
+        cur = int(np.searchsorted(live_sorted, route.home))
+        prev = np.empty_like(pos_sorted)
+        prev[0] = cur
+        prev[1:] = pos_sorted[:-1]
+        steps_sorted = (pos_sorted - prev) % m
+        sweep = int(steps_sorted.sum())
+        route_hops_arr = np.zeros(n, dtype=np.int64)
+        route_hops_arr[order] = steps_sorted
+        route_hops = route_hops_arr.tolist()
+        for _ in range(sweep):
+            nxt = (cur + 1) % m
+            send(live[cur], live[nxt], kind="publish")
+            cur = nxt
+        route_hops[order_l[0]] += route.hops
+        displacement_free = all(
+            network.node(nid).capacity is None for nid in live
+        )
+        if displacement_free:
+            # Key order == sweep order: each node's whole run is dropped
+            # off in one bulk store as the sweep passes its home.
+            store_run = system.store_run
+            norms_l = norms.tolist() if norms is not None else None
+            run: list[StoredItem] = []
+            run_norms: Optional[list[float]] = None
+            run_home = -1
+            for k in order_l:
+                h = homes_l[k]
+                if h != run_home:
+                    if run:
+                        store_run(run_home, run, run_norms)
+                    run = []
+                    run_norms = [] if norms_l is not None else None
+                    run_home = h
+                it = items[k]
+                run.append(it)
+                if norms_l is not None:
+                    run_norms.append(norms_l[k])
+                results[k] = PublishResult(
+                    item_id=it.item_id, home=h, route_hops=route_hops[k]
+                )
+            if run:
+                store_run(run_home, run, run_norms)
+        else:
+            timer = obs.metrics.timer
+            for k in range(n):  # original publish order: chain outcomes match the loop
+                with timer("publish.displace_chain"):
+                    res = run_displacement_chain(
+                        system,
+                        homes_l[k],
+                        items[k],
+                        hop_budget=hop_budget,
+                        policy=policy,
+                    )
+                res.route_hops = route_hops[k]
+                results[k] = res
+        sp.set(
+            route_hops=route.hops,
+            sweep_hops=sweep,
+            failed=sum(1 for r in results if r is not None and not r.success),
+        )
+    return results  # type: ignore[return-value]

@@ -139,65 +139,67 @@ def retrieve(
         raise ValueError(f"patience must be >= 1, got {patience}")
     key = start_key if start_key is not None else system.query_key(query)
     obs = system.network.obs
-    sp = obs.tracer.span("retrieve", key=key, origin=origin, amount=amount)
-    route = system.overlay.route(origin, key, kind="retrieve")
-    assert route.home is not None
-    result = RetrieveResult(route_hops=route.hops)
-    seen_items: set[int] = set()
+    # Context-managed span: an exception in routing or harvest must
+    # close the span on the way out, or the trace tree is left with an
+    # unfinished frame (matching publish_item / find_item).
+    with obs.tracer.span("retrieve", key=key, origin=origin, amount=amount) as sp:
+        route = system.overlay.route(origin, key, kind="retrieve")
+        assert route.home is not None
+        result = RetrieveResult(route_hops=route.hops)
+        seen_items: set[int] = set()
 
-    def harvest(node_id: int, hops_here: int) -> int:
-        state = system.state(node_id)
-        remaining = None if amount is None else amount - len(result.discoveries)
-        hits = state.index.query(
-            query, limit=remaining, require_all=require_all, min_score=min_score
-        )
-        fresh = 0
-        for h in hits:
-            if h.item.item_id in seen_items:
-                continue
-            seen_items.add(h.item.item_id)
-            result.discoveries.append(
-                Discovery(h.item.item_id, node_id, h.score, hops_here)
+        def harvest(node_id: int, hops_here: int) -> int:
+            state = system.state(node_id)
+            remaining = None if amount is None else amount - len(result.discoveries)
+            hits = state.index.query(
+                query, limit=remaining, require_all=require_all, min_score=min_score
             )
-            fresh += 1
-        if fresh:
-            result.reply_messages += 1
-        return fresh
+            fresh = 0
+            for h in hits:
+                if h.item.item_id in seen_items:
+                    continue
+                seen_items.add(h.item.item_id)
+                result.discoveries.append(
+                    Discovery(h.item.item_id, node_id, h.score, hops_here)
+                )
+                fresh += 1
+            if fresh:
+                result.reply_messages += 1
+            return fresh
 
-    result.visited.append(route.home)
-    harvest(route.home, route.hops)
-    dry = 0
-    walked = 0
-    current = route.home
-    tracer = obs.tracer
-    with obs.metrics.timer("kernel.walk"):
-        for neighbor in _walk_order(system, route.home, direction):
-            if amount is not None and len(result.discoveries) >= amount:
-                break
-            if max_walk is not None and walked >= max_walk:
-                result.complete = amount is None
-                break
-            if amount is None and dry >= patience:
-                break
-            system.network.send(current, neighbor, kind="retrieve")
-            current = neighbor
-            walked += 1
-            result.walk_hops += 1
-            result.visited.append(neighbor)
-            fresh = harvest(neighbor, route.hops + walked)
-            if tracer.enabled:
-                tracer.event("walk", node=neighbor, fresh=fresh)
-            dry = 0 if fresh else dry + 1
-    if amount is not None and len(result.discoveries) < amount:
-        result.complete = False
-    sp.set(
-        home=route.home,
-        route_hops=route.hops,
-        walk_hops=result.walk_hops,
-        found=result.found,
-        complete=result.complete,
-    )
-    obs.tracer.finish(sp)
+        result.visited.append(route.home)
+        harvest(route.home, route.hops)
+        dry = 0
+        walked = 0
+        current = route.home
+        tracer = obs.tracer
+        with obs.metrics.timer("kernel.walk"):
+            for neighbor in _walk_order(system, route.home, direction):
+                if amount is not None and len(result.discoveries) >= amount:
+                    break
+                if max_walk is not None and walked >= max_walk:
+                    result.complete = amount is None
+                    break
+                if amount is None and dry >= patience:
+                    break
+                system.network.send(current, neighbor, kind="retrieve")
+                current = neighbor
+                walked += 1
+                result.walk_hops += 1
+                result.visited.append(neighbor)
+                fresh = harvest(neighbor, route.hops + walked)
+                if tracer.enabled:
+                    tracer.event("walk", node=neighbor, fresh=fresh)
+                dry = 0 if fresh else dry + 1
+        if amount is not None and len(result.discoveries) < amount:
+            result.complete = False
+        sp.set(
+            home=route.home,
+            route_hops=route.hops,
+            walk_hops=result.walk_hops,
+            found=result.found,
+            complete=result.complete,
+        )
     return result
 
 
@@ -298,135 +300,153 @@ def retrieve_with_pointers(
     key = start_key if start_key is not None else system.query_angle_key(query)
     obs = system.network.obs
     tracer = obs.tracer
-    sp = tracer.span("retrieve", key=key, origin=origin, amount=amount, mode="pointers")
-    route = system.overlay.route(origin, key, kind="retrieve")
-    assert route.home is not None
-    result = RetrieveResult(route_hops=route.hops)
-    result.visited.append(route.home)
+    # Context-managed span, like ``retrieve``: an exception mid-protocol
+    # must not leak an unfinished span into the trace tree.
+    with tracer.span(
+        "retrieve", key=key, origin=origin, amount=amount, mode="pointers"
+    ) as sp:
+        route = system.overlay.route(origin, key, kind="retrieve")
+        assert route.home is not None
+        result = RetrieveResult(route_hops=route.hops)
+        result.visited.append(route.home)
 
-    require = None if require_all is None else [int(k) for k in require_all]
+        require = None if require_all is None else [int(k) for k in require_all]
 
-    def matching_pointers(node_id: int) -> list:
-        node = system.network.node(node_id)
-        out = []
-        for p in node.pointers():
-            if require is not None:
-                have = set(int(k) for k in p.keyword_ids)
-                if not all(k in have for k in require):
-                    continue
-            else:
-                # Without an exact filter, a pointer is a candidate when
-                # it shares at least one query keyword.
-                qset = set(int(i) for i in query.indices)
-                if not qset.intersection(int(k) for k in p.keyword_ids):
-                    continue
-            out.append(p)
-        return out
+        def matching_pointers(node_id: int) -> list:
+            node = system.network.node(node_id)
+            out = []
+            for p in node.pointers():
+                if require is not None:
+                    have = set(int(k) for k in p.keyword_ids)
+                    if not all(k in have for k in require):
+                        continue
+                else:
+                    # Without an exact filter, a pointer is a candidate when
+                    # it shares at least one query keyword.
+                    qset = set(int(i) for i in query.indices)
+                    if not qset.intersection(int(k) for k in p.keyword_ids):
+                        continue
+                out.append(p)
+            return out
 
-    # Stage 1: sweep the pointer band.
-    pointers = []
-    pointer_hop: dict[int, int] = {}
-    hits = matching_pointers(route.home)
-    for p in hits:
-        pointer_hop[p.item_id] = route.hops
-    pointers.extend(hits)
-    dry = 0
-    walked = 0
-    current = route.home
-    for neighbor in _walk_order(system, route.home, direction):
-        if dry >= patience:
-            break
-        if max_walk is not None and walked >= max_walk:
-            break
-        if amount is not None and len(pointers) >= amount:
-            break
-        system.network.send(current, neighbor, kind="retrieve")
-        current = neighbor
-        walked += 1
-        result.walk_hops += 1
-        result.visited.append(neighbor)
-        hits = matching_pointers(neighbor)
-        if tracer.enabled:
-            tracer.event("walk", node=neighbor, fresh=len(hits))
+        # Stage 1: sweep the pointer band.
+        pointers = []
+        pointer_hop: dict[int, int] = {}
+        hits = matching_pointers(route.home)
         for p in hits:
-            pointer_hop.setdefault(p.item_id, route.hops + walked)
+            pointer_hop[p.item_id] = route.hops
         pointers.extend(hits)
-        dry = 0 if hits else dry + 1
+        dry = 0
+        walked = 0
+        current = route.home
+        for neighbor in _walk_order(system, route.home, direction):
+            if dry >= patience:
+                break
+            if max_walk is not None and walked >= max_walk:
+                break
+            if amount is not None and len(pointers) >= amount:
+                break
+            system.network.send(current, neighbor, kind="retrieve")
+            current = neighbor
+            walked += 1
+            result.walk_hops += 1
+            result.visited.append(neighbor)
+            hits = matching_pointers(neighbor)
+            if tracer.enabled:
+                tracer.event("walk", node=neighbor, fresh=len(hits))
+            for p in hits:
+                pointer_hop.setdefault(p.item_id, route.hops + walked)
+            pointers.extend(hits)
+            dry = 0 if hits else dry + 1
 
-    # Stage 2: sequential body fetches, one route per distinct body home.
-    by_home: dict[int, list] = {}
-    for p in pointers:
-        body_home = system.overlay.home(p.body_key)
-        by_home.setdefault(body_home, []).append(p)
-    fetch_origin = route.home
-    seen_items: set[int] = set()
+        # Stage 2: sequential body fetches, one route per distinct body home.
+        by_home: dict[int, list] = {}
+        for p in pointers:
+            body_home = system.overlay.home(p.body_key)
+            by_home.setdefault(body_home, []).append(p)
+        fetch_origin = route.home
+        seen_items: set[int] = set()
+        # The displacement walk around a body home honors the caller's
+        # ``max_walk`` exactly like the stage-1 sweep and ``retrieve``;
+        # the old fixed max(patience, 4) cap is only the fallback.
+        fetch_walk_limit = max_walk if max_walk is not None else max(patience, 4)
 
-    def harvest_at(node_id: int, hops_here_of, limit_left) -> int:
-        state = system.state(node_id)
-        hits = state.index.query(
-            query, limit=limit_left, require_all=require, min_score=min_score
-        )
-        fresh = 0
-        for h in hits:
-            if h.item.item_id in seen_items:
-                continue
-            seen_items.add(h.item.item_id)
-            result.discoveries.append(
-                Discovery(h.item.item_id, node_id, h.score, hops_here_of(h.item.item_id))
+        def harvest_at(node_id: int, hops_here_of, limit_left) -> int:
+            state = system.state(node_id)
+            hits = state.index.query(
+                query, limit=limit_left, require_all=require, min_score=min_score
             )
-            fresh += 1
-        return fresh
-
-    for body_home in sorted(by_home, key=lambda h: min(p.item_id for p in by_home[h])):
-        if amount is not None and len(result.discoveries) >= amount:
-            break
-        wanted = {p.item_id for p in by_home[body_home]}
-        if tracer.enabled:
-            tracer.event("fetch", body_home=body_home, promised=len(wanted))
-        fetch = system.overlay.route(fetch_origin, body_home, kind="retrieve")
-        result.fetch_hops += fetch.hops
-        result.reply_messages += 1  # the k′-items reply to the pointer home
-        terminal = fetch.home
-        assert terminal is not None
-        remaining = None if amount is None else amount - len(result.discoveries)
-        harvest_at(
-            terminal,
-            lambda iid: pointer_hop.get(iid, route.hops) + fetch.hops,
-            remaining,
-        )
-        # Displacement (Fig. 2) may have pushed pointer-promised bodies
-        # onto the home's neighbors; extend the fetch with the standard
-        # closest-neighbor walk until every promised item is accounted
-        # for (bounded by patience, like the stage-1 sweep).
-        missing = wanted - seen_items
-        if missing:
-            walked = 0
-            current = terminal
-            for neighbor in system.overlay.closest_neighbors(terminal, alive_only=True):
-                if not missing or walked >= max(patience, 4):
-                    break
-                if amount is not None and len(result.discoveries) >= amount:
-                    break
-                system.network.send(current, neighbor, kind="retrieve")
-                current = neighbor
-                walked += 1
-                result.fetch_hops += 1
-                depth = walked
-                harvest_at(
-                    neighbor,
-                    lambda iid, d=depth: pointer_hop.get(iid, route.hops) + fetch.hops + d,
-                    None if amount is None else amount - len(result.discoveries),
+            fresh = 0
+            for h in hits:
+                if h.item.item_id in seen_items:
+                    continue
+                seen_items.add(h.item.item_id)
+                result.discoveries.append(
+                    Discovery(
+                        h.item.item_id, node_id, h.score, hops_here_of(h.item.item_id)
+                    )
                 )
-                missing -= seen_items
-    if amount is not None and len(result.discoveries) < amount:
-        result.complete = False
-    sp.set(
-        home=route.home,
-        route_hops=route.hops,
-        walk_hops=result.walk_hops,
-        fetch_hops=result.fetch_hops,
-        found=result.found,
-        complete=result.complete,
-    )
-    tracer.finish(sp)
+                fresh += 1
+            return fresh
+
+        for body_home in sorted(by_home, key=lambda h: min(p.item_id for p in by_home[h])):
+            if amount is not None and len(result.discoveries) >= amount:
+                break
+            wanted = {p.item_id for p in by_home[body_home]}
+            if tracer.enabled:
+                tracer.event("fetch", body_home=body_home, promised=len(wanted))
+            fetch = system.overlay.route(fetch_origin, body_home, kind="retrieve")
+            result.fetch_hops += fetch.hops
+            result.reply_messages += 1  # the k′-items reply to the pointer home
+            terminal = fetch.home
+            assert terminal is not None
+            remaining = None if amount is None else amount - len(result.discoveries)
+            harvest_at(
+                terminal,
+                lambda iid: pointer_hop.get(iid, route.hops) + fetch.hops,
+                remaining,
+            )
+            # Displacement (Fig. 2) may have pushed pointer-promised bodies
+            # onto the home's neighbors; extend the fetch with the standard
+            # closest-neighbor walk until every promised item is accounted
+            # for (bounded by patience, like the stage-1 sweep).
+            missing = wanted - seen_items
+            if missing:
+                walked = 0
+                current = terminal
+                for neighbor in system.overlay.closest_neighbors(
+                    terminal, alive_only=True
+                ):
+                    if not missing or walked >= fetch_walk_limit:
+                        break
+                    if amount is not None and len(result.discoveries) >= amount:
+                        break
+                    system.network.send(current, neighbor, kind="retrieve")
+                    current = neighbor
+                    walked += 1
+                    result.fetch_hops += 1
+                    depth = walked
+                    fresh = harvest_at(
+                        neighbor,
+                        lambda iid, d=depth: pointer_hop.get(iid, route.hops)
+                        + fetch.hops
+                        + d,
+                        None if amount is None else amount - len(result.discoveries),
+                    )
+                    if fresh:
+                        # A neighbor that contributes items sends a reply,
+                        # exactly as ``retrieve`` counts its walk replies —
+                        # §3.5.2 message totals are comparable across modes.
+                        result.reply_messages += 1
+                    missing -= seen_items
+        if amount is not None and len(result.discoveries) < amount:
+            result.complete = False
+        sp.set(
+            home=route.home,
+            route_hops=route.hops,
+            walk_hops=result.walk_hops,
+            fetch_hops=result.fetch_hops,
+            found=result.found,
+            complete=result.complete,
+        )
     return result

@@ -11,7 +11,16 @@ one.
 
 Best-of is the right statistic here: every kernel is deterministic CPU
 work, so the minimum over repeats estimates the uncontended cost and
-higher observations are scheduler noise.
+higher observations are scheduler noise.  The timed loops run with the
+cyclic GC disabled (the ``timeit`` convention) — the publish kernels
+allocate hundreds of thousands of container objects, and collection
+pauses landing inside one repeat but not another would swamp the
+signal.
+
+Kernels that consume state (the publish kernels mutate the system they
+publish into) are registered as ``(prepare, fn)`` pairs: ``prepare()``
+builds a fresh workload *outside* the timed region and ``fn`` receives
+its result, so setup cost never pollutes the measurement.
 
 Like :mod:`repro.obs.demo`, this is a leaf module — it imports the core
 system, so nothing inside :mod:`repro.obs` may import it.
@@ -19,6 +28,7 @@ system, so nothing inside :mod:`repro.obs` may import it.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import sys
@@ -48,19 +58,25 @@ _LOOPS = {
     "corpus_to_keys": 3,
     "equalizer_remap": 20,
     "tornado_route": 5,
+    "leafset_cached": 50,
     "local_index_query": 50,
+    "batch_publish": 1,
+    "publish_per_item": 1,
 }
 
 
-def build_kernels(scale: float = 1.0) -> dict[str, Callable[[], object]]:
-    """Closures over the five micro-kernel workloads.
+def build_kernels(scale: float = 1.0) -> dict[str, object]:
+    """Closures over the micro-kernel workloads.
 
-    ``scale`` shrinks the corpus-bound kernels for quick smoke runs;
-    committed baselines should always use ``scale=1.0`` (the exact
-    setups of ``benchmarks/test_micro_kernels.py``).
+    Values are either plain ``fn`` closures or ``(prepare, fn)`` pairs
+    for state-consuming kernels (see the module docstring).  ``scale``
+    shrinks the corpus-bound kernels for quick smoke runs; committed
+    baselines should always use ``scale=1.0`` (the exact setups of
+    ``benchmarks/test_micro_kernels.py``).
     """
     from ..core import corpus_to_keys, equalizer_from_sample
     from ..core.angles import absolute_angles
+    from ..core.meteorograph import Meteorograph, MeteorographConfig, PlacementScheme
     from ..overlay.idspace import KeySpace
     from ..overlay.tornado import TornadoOverlay
     from ..sim.network import Network
@@ -111,23 +127,94 @@ def build_kernels(scale: float = 1.0) -> dict[str, Callable[[], object]]:
             total += overlay.route(o, k).hops
         return total
 
+    for o in origins:  # warm the epoch-cached leaf sets
+        overlay.leaf_set(o)
+
+    def leafset_all() -> int:
+        # Pure cache-hit path: the memoised per-node leaf sets of the
+        # warmed overlay (the route kernel's per-hop frontier lookup).
+        total = 0
+        leaf_set = overlay.leaf_set
+        for o in origins:
+            total += len(leaf_set(o))
+        return total
+
+    # Publish kernels: each timed call consumes a fresh system built by
+    # ``prepare`` (publishing mutates node storage), with unbounded
+    # capacity — the displacement-free Fig. 7/8 configuration — under
+    # the UNUSED_HASH scheme the experiments default to (balanced keys,
+    # so publishes spread over the whole ring rather than the clustered
+    # angle region).  Both kernels publish the same corpus with the
+    # same seeds; their ratio is the batch-path speedup over the
+    # per-item loop.
+    publish_cfg = MeteorographConfig(scheme=PlacementScheme.UNUSED_HASH)
+    sample_rng = np.random.default_rng(5)
+    sample_ids = np.sort(
+        sample_rng.choice(corpus.n_items, min(100, corpus.n_items), replace=False)
+    )
+    publish_sample = corpus.subsample(sample_ids)
+
+    def prepare_publish() -> object:
+        return Meteorograph.build(
+            n_nodes,
+            corpus.dim,
+            rng=np.random.default_rng(9),
+            sample=publish_sample,
+            config=publish_cfg,
+        )
+
+    def publish_batch(system) -> int:
+        res = system.publish_corpus(corpus, np.random.default_rng(3), batch=True)
+        return len(res)
+
+    def publish_sequential(system) -> int:
+        res = system.publish_corpus(corpus, np.random.default_rng(3), batch=False)
+        return len(res)
+
     return {
         "absolute_angles": lambda: absolute_angles(corpus),
         "corpus_to_keys": lambda: corpus_to_keys(corpus, space),
         "equalizer_remap": lambda: eq.remap_many(keys),
         "tornado_route": route_all,
+        "leafset_cached": leafset_all,
         "local_index_query": lambda: idx.query(q, 20),
+        "batch_publish": (prepare_publish, publish_batch),
+        "publish_per_item": (prepare_publish, publish_sequential),
     }
 
 
-def _time_kernel(fn: Callable[[], object], loops: int, repeats: int) -> dict:
-    fn()  # warm caches / allocator before the measured repeats
+def _time_kernel(
+    fn: Callable[..., object],
+    loops: int,
+    repeats: int,
+    prepare: Callable[[], object] | None = None,
+) -> dict:
+    """Best-of-``repeats`` timing of ``loops`` calls, GC paused.
+
+    With ``prepare``, every timed call receives a fresh ``prepare()``
+    result (built untimed) — the protocol for kernels that consume
+    their workload.
+    """
     samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        for _ in range(loops):
-            fn()
-        samples.append((time.perf_counter() - t0) / loops)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        # Warm caches / allocator before the measured repeats.
+        fn(prepare()) if prepare is not None else fn()
+        for _ in range(repeats):
+            states = [prepare() for _ in range(loops)] if prepare is not None else None
+            gc.collect()
+            t0 = time.perf_counter()
+            if states is None:
+                for _ in range(loops):
+                    fn()
+            else:
+                for st in states:
+                    fn(st)
+            samples.append((time.perf_counter() - t0) / loops)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     arr = np.asarray(samples, dtype=np.float64)
     return {
         "best_us": float(arr.min() * 1e6),
@@ -137,12 +224,29 @@ def _time_kernel(fn: Callable[[], object], loops: int, repeats: int) -> dict:
     }
 
 
-def run_benchmarks(*, scale: float = 1.0, repeats: int = 5) -> dict:
-    """Time every micro-kernel; returns the snapshot dict (JSON-ready)."""
-    kernels = build_kernels(scale)
-    results = {
-        name: _time_kernel(fn, _LOOPS[name], repeats) for name, fn in kernels.items()
-    }
+def run_benchmarks(
+    *,
+    scale: float = 1.0,
+    repeats: int = 5,
+    kernels: "list[str] | None" = None,
+) -> dict:
+    """Time every micro-kernel; returns the snapshot dict (JSON-ready).
+
+    ``kernels`` restricts the run to the named subset (unknown names
+    raise, so typos do not silently produce empty snapshots).
+    """
+    built = build_kernels(scale)
+    if kernels is not None:
+        unknown = sorted(set(kernels) - set(built))
+        if unknown:
+            raise KeyError(f"unknown kernels: {', '.join(unknown)}")
+        built = {name: built[name] for name in built if name in set(kernels)}
+    results = {}
+    for name, fn in built.items():
+        prepare = None
+        if isinstance(fn, tuple):
+            prepare, fn = fn
+        results[name] = _time_kernel(fn, _LOOPS[name], repeats, prepare)
     return {
         "meta": {
             "created": time.strftime("%Y-%m-%dT%H:%M:%S"),

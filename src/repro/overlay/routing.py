@@ -52,11 +52,17 @@ class DigitCodec:
         return (key >> shift) & (self.radix - 1)
 
     def shared_prefix_len(self, a: int, b: int) -> int:
-        """Number of leading digits ``a`` and ``b`` share."""
-        for row in range(self.num_digits):
-            if self.digit(a, row) != self.digit(b, row):
-                return row
-        return self.num_digits
+        """Number of leading digits ``a`` and ``b`` share.
+
+        O(1): the first differing digit is located from the highest set
+        bit of ``a ^ b`` within the ``key_bits``-wide frame (this runs
+        once per routing hop, so the old per-digit scan was ~num_digits
+        Python calls on the route kernel's critical path).
+        """
+        x = a ^ b
+        if x == 0:
+            return self.num_digits
+        return (self.key_bits - x.bit_length()) // self.digit_bits
 
     def prefix_interval(self, key: int, prefix_len: int, digit: int) -> tuple[int, int]:
         """Half-open key interval of IDs sharing ``key``'s first

@@ -21,7 +21,7 @@ complete leaf set is the global (live) minimum — the home node.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Optional
 
 from ..sim.network import Network
 from .base import Overlay, RouteResult, RoutingError
@@ -74,10 +74,23 @@ class TornadoOverlay(Overlay):
         #: Membership view used for routing state.  ``stabilize()`` swaps
         #: in a live-only ring, modelling post-failure repair.
         self._view: SortedKeyRing = self.ring
+        #: Monotone membership epoch: bumped by every registration change
+        #: and by ``stabilize()``.  All derived routing state memoised
+        #: against the view (leaf sets here, rows inside the tables) is
+        #: valid for exactly one epoch; see OBSERVABILITY.md.
+        self._epoch = 0
+        self._leaf_sets: dict[int, list[int]] = {}
 
     # -- membership hooks ------------------------------------------------
 
+    @property
+    def membership_epoch(self) -> int:
+        """Current membership epoch (cache-validity token)."""
+        return self._epoch
+
     def _on_membership_change(self) -> None:
+        self._epoch += 1
+        self._leaf_sets.clear()
         for table in self._tables.values():
             table.invalidate()
         # A registration change makes any live-only view stale too.
@@ -86,6 +99,8 @@ class TornadoOverlay(Overlay):
     def stabilize(self) -> None:
         """Rebuild routing state over live nodes only (§3.6 failover repair)."""
         live = SortedKeyRing(self.space, (nid for nid in self.ring if self.network.is_alive(nid)))
+        self._epoch += 1
+        self._leaf_sets.clear()
         self._view = live
         for table in self._tables.values():
             table.rebind(live)
@@ -109,24 +124,36 @@ class TornadoOverlay(Overlay):
         return table
 
     def leaf_set(self, node_id: int) -> list[int]:
-        """Up to ``leaf_set_size`` nearest nodes on each side (ring order)."""
-        if len(self._view) <= 1:
-            return []
-        succ: list[int] = []
-        pred: list[int] = []
-        cur = node_id
-        for _ in range(self.leaf_set_size):
-            cur = self._view.successor(self.space.wrap(cur + 1))
-            if cur == node_id or cur in succ:
-                break
-            succ.append(cur)
-        cur = node_id
-        for _ in range(self.leaf_set_size):
-            cur = self._view.predecessor(cur)
-            if cur == node_id or cur in pred or cur in succ:
-                break
-            pred.append(cur)
-        return succ + pred
+        """Up to ``leaf_set_size`` nearest nodes on each side (ring order).
+
+        Memoised on the membership epoch: the per-node list is built
+        once and served from cache until a join/leave/stabilize bumps
+        ``membership_epoch`` (ROADMAP's route-kernel target — the old
+        per-hop rebuild dominated the routing cost).  Callers must not
+        mutate the returned list.
+        """
+        cached = self._leaf_sets.get(node_id)
+        if cached is not None:
+            return cached
+        out: list[int] = []
+        if len(self._view) > 1:
+            pred: list[int] = []
+            cur = node_id
+            for _ in range(self.leaf_set_size):
+                cur = self._view.successor(self.space.wrap(cur + 1))
+                if cur == node_id or cur in out:
+                    break
+                out.append(cur)
+            succ_only = tuple(out)
+            cur = node_id
+            for _ in range(self.leaf_set_size):
+                cur = self._view.predecessor(cur)
+                if cur == node_id or cur in pred or cur in succ_only:
+                    break
+                pred.append(cur)
+            out.extend(pred)
+        self._leaf_sets[node_id] = out
+        return out
 
     # -- key→node ---------------------------------------------------------------
 
@@ -154,42 +181,14 @@ class TornadoOverlay(Overlay):
         result = RouteResult(origin=origin, key=key, home=None, path=[origin])
         tracer = self.network.obs.tracer
         if not tracer.enabled:
-            # Hot path: a hand-inlined mirror of _greedy_route with no
-            # tracer checks at all (see OBSERVABILITY.md on the
-            # zero-cost-when-disabled contract for this kernel).  Keep
-            # the two loops in sync.
-            current = origin
-            dist = self.space.ring_distance
-            send = self.network.send
-            is_alive = self.network.is_alive
-            while True:
-                best = current
-                best_d = dist(current, key)
-                for cand in self._candidates(current, key):
-                    if not is_alive(cand):
-                        continue
-                    d = dist(cand, key)
-                    if d < best_d or (d == best_d and cand < best):
-                        best, best_d = cand, d
-                if best == current:
-                    break
-                if result.hops >= budget:
-                    result.succeeded = False
-                    result.home = current
-                    return result
-                send(current, best, kind)
-                result.path.append(best)
-                current = best
-            result.home = current
-            live_best = self.live_home(key)
-            result.succeeded = live_best is not None and current == live_best
+            self._route_kernel(result, key, kind, budget, None)
             return result
         with tracer.span("route", origin=origin, key=key, msg_kind=kind) as sp:
-            self._greedy_route(result, key, kind, budget, tracer)
+            self._route_kernel(result, key, kind, budget, tracer)
             sp.set(hops=result.hops, home=result.home, ok=result.succeeded)
         return result
 
-    def _greedy_route(
+    def _route_kernel(
         self,
         result: RouteResult,
         key: int,
@@ -197,34 +196,63 @@ class TornadoOverlay(Overlay):
         budget: int,
         tracer,
     ) -> None:
-        """Greedy strict-descent loop; fills ``result`` in place."""
+        """Greedy strict-descent loop; fills ``result`` in place.
+
+        One kernel serves both the traced and untraced paths (``tracer``
+        is None when tracing is off, so the per-hop tracing cost on the
+        disabled path is a single ``is not None`` test — the zero-cost
+        contract of OBSERVABILITY.md).  Everything per-hop is hoisted:
+        routing-table candidates come from the memoised table rows, the
+        leaf set from the epoch cache, and ring distance is inlined
+        rather than called per candidate.
+        """
         current = result.origin
-        dist = self.space.ring_distance
+        modulus = self.space.modulus
+        nodes = self.network._nodes  # noqa: SLF001 - hot-path liveness peek
+        send = self.network.send
+        tables = self._tables
+        leaf_sets = self._leaf_sets
+        path = result.path
+        hops = 0
         while True:
+            table = tables.get(current)
+            if table is None:
+                table = self._table(current)
+            leafs = leaf_sets.get(current)
+            if leafs is None:
+                leafs = self.leaf_set(current)
+            d = current - key
+            if d < 0:
+                d = -d
+            rd = modulus - d
+            best_d = d if d < rd else rd
             best = current
-            best_d = dist(current, key)
-            for cand in self._candidates(current, key):
-                if not self.network.is_alive(cand):
-                    continue
-                d = dist(cand, key)
-                if d < best_d or (d == best_d and cand < best):
-                    best, best_d = cand, d
+            for group in (table.next_hop_candidates(key), leafs):
+                for cand in group:
+                    node = nodes.get(cand)
+                    if node is None or not node.alive:
+                        continue
+                    d = cand - key
+                    if d < 0:
+                        d = -d
+                    rd = modulus - d
+                    if rd < d:
+                        d = rd
+                    if d < best_d or (d == best_d and cand < best):
+                        best, best_d = cand, d
             if best == current:
                 break
-            if result.hops >= budget:
+            if hops >= budget:
                 result.succeeded = False
                 result.home = current
                 return
-            self.network.send(current, best, kind)
+            send(current, best, kind)
             if tracer is not None:
                 tracer.event("hop", src=current, dst=best)
-            result.path.append(best)
+            path.append(best)
+            hops += 1
             current = best
         result.home = current
         # The route "succeeded" if it reached the best live node for the key.
         live_best = self.live_home(key)
         result.succeeded = live_best is not None and current == live_best
-
-    def _candidates(self, current: int, key: int) -> Iterator[int]:
-        yield from self._table(current).next_hop_candidates(key)
-        yield from self.leaf_set(current)

@@ -12,7 +12,7 @@ pointers / replication).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
@@ -135,6 +135,20 @@ class PeerNode:
                 f"node {self.node_id} full ({self.capacity}); displace before storing"
             )
         self._items[item.item_id] = item
+
+    def store_many(self, items: Iterable[StoredItem]) -> None:
+        """Bulk :meth:`store`; same per-item capacity semantics.
+
+        Unbounded nodes (the Fig. 7/8 infinite-storage configuration)
+        take the whole run in one dict update; bounded nodes fall back
+        to per-item stores so the capacity check fires at exactly the
+        same point it would have sequentially.
+        """
+        if self.capacity is None:
+            self._items.update((item.item_id, item) for item in items)
+            return
+        for item in items:
+            self.store(item)
 
     def evict(self, item_id: int) -> StoredItem:
         """Remove and return an item."""

@@ -233,11 +233,17 @@ class Corpus:
         )
 
     def row_slices(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
-        """Yield (item_id, keyword_ids, weights) without materialising vectors."""
-        indptr, indices, data = self.matrix.indptr, self.matrix.indices, self.matrix.data
-        for i in range(self.n_items):
-            lo, hi = indptr[i], indptr[i + 1]
-            yield i, indices[lo:hi].astype(np.int64), data[lo:hi]
+        """Yield (item_id, keyword_ids, weights) without materialising vectors.
+
+        The keyword arrays are views into one shared int64 copy of the
+        CSR indices (cast once, not per row) — treat them as read-only.
+        """
+        indices = self.matrix.indices.astype(np.int64)
+        data = self.matrix.data
+        lo = 0
+        for i, hi in enumerate(self.matrix.indptr.tolist()[1:]):
+            yield i, indices[lo:hi], data[lo:hi]
+            lo = hi
 
     def items_with_keyword(self, keyword_id: int) -> np.ndarray:
         """Item ids whose basket contains ``keyword_id``."""

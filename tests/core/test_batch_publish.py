@@ -1,0 +1,129 @@
+"""Batch publish ≡ sequential publish (the single-sweep fast path).
+
+The property the whole fast path stands on: for the same corpus, seed
+and configuration, :func:`repro.core.publish.batch_publish` (via
+``publish_corpus(batch=True)``) produces exactly the placements and
+per-item ``PublishResult`` accounting of the sequential per-item loop.
+Only *route* accounting is excluded — batch charges 1 route plus a
+ring sweep instead of one route per item, by design.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.meteorograph import Meteorograph, MeteorographConfig, PlacementScheme
+from repro.workload import WorldCupParams, generate_trace
+
+N_ITEMS = 400
+N_NODES = 80
+
+
+def make_trace(seed=19980724):
+    return generate_trace(
+        WorldCupParams(n_items=N_ITEMS, n_keywords=300), seed=seed
+    )
+
+
+def build_system(trace, *, capacity=None, seed=9, **cfg_kwargs):
+    rng = np.random.default_rng(5)
+    sample_ids = np.sort(rng.choice(trace.corpus.n_items, 50, replace=False))
+    cfg = MeteorographConfig(
+        scheme=PlacementScheme.UNUSED_HASH, node_capacity=capacity, **cfg_kwargs
+    )
+    return Meteorograph.build(
+        N_NODES,
+        trace.corpus.dim,
+        rng=np.random.default_rng(seed),
+        sample=trace.corpus.subsample(sample_ids),
+        config=cfg,
+    )
+
+
+def placements(system):
+    """node id → frozenset of stored item ids, for every non-empty node."""
+    out = {}
+    for node in system.network.nodes():
+        ids = frozenset(node.item_ids())
+        if ids:
+            out[node.node_id] = ids
+    return out
+
+
+def accounting(results):
+    """Per-item result fields that must match exactly (route_hops is
+    excluded: batch charges the sweep marginally, by design)."""
+    return [
+        (r.item_id, r.home, r.success, r.dropped_item_id, r.displacement_hops, r.chain)
+        for r in results
+    ]
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("capacity", [None, 9])
+    def test_batch_matches_sequential(self, capacity):
+        trace = make_trace()
+        seq_sys = build_system(trace, capacity=capacity)
+        bat_sys = build_system(trace, capacity=capacity)
+        seq = seq_sys.publish_corpus(trace.corpus, np.random.default_rng(3), batch=False)
+        bat = bat_sys.publish_corpus(trace.corpus, np.random.default_rng(3), batch=True)
+        assert placements(seq_sys) == placements(bat_sys)
+        assert accounting(seq) == accounting(bat)
+        assert seq_sys._published == bat_sys._published
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_batch_matches_sequential_across_seeds(self, seed):
+        trace = make_trace(seed=seed)
+        seq_sys = build_system(trace, capacity=7, seed=seed + 1)
+        bat_sys = build_system(trace, capacity=7, seed=seed + 1)
+        seq = seq_sys.publish_corpus(trace.corpus, np.random.default_rng(3), batch=False)
+        bat = bat_sys.publish_corpus(trace.corpus, np.random.default_rng(3), batch=True)
+        assert placements(seq_sys) == placements(bat_sys)
+        assert accounting(seq) == accounting(bat)
+
+    def test_batch_respects_hop_budget(self):
+        trace = make_trace()
+        seq_sys = build_system(trace, capacity=4, hop_budget=2)
+        bat_sys = build_system(trace, capacity=4, hop_budget=2)
+        seq = seq_sys.publish_corpus(trace.corpus, np.random.default_rng(3), batch=False)
+        bat = bat_sys.publish_corpus(trace.corpus, np.random.default_rng(3), batch=True)
+        assert placements(seq_sys) == placements(bat_sys)
+        assert accounting(seq) == accounting(bat)
+        # A tight budget over an overloaded ring must actually drop items
+        # (otherwise this test exercises nothing).
+        assert any(not r.success for r in bat)
+
+    def test_batch_message_total_is_sweep_not_per_item(self):
+        trace = make_trace()
+        seq_sys = build_system(trace)
+        bat_sys = build_system(trace)
+        seq = seq_sys.publish_corpus(trace.corpus, np.random.default_rng(3), batch=False)
+        bat = bat_sys.publish_corpus(trace.corpus, np.random.default_rng(3), batch=True)
+        seq_msgs = sum(r.messages for r in seq)
+        bat_msgs = sum(r.messages for r in bat)
+        assert bat_msgs < seq_msgs / 4
+        # route_hops sums to what was actually charged on the network.
+        assert bat_msgs == bat_sys.network.sink.count("publish") + sum(
+            r.displacement_hops for r in bat
+        )
+
+    def test_auto_mode_picks_batch_when_allowed(self):
+        trace = make_trace()
+        system = build_system(trace)
+        system.publish_corpus(trace.corpus, np.random.default_rng(3))
+        # The sweep charges ~O(N_nodes) publish messages; the per-item
+        # loop would charge one route per item (far more than N_ITEMS).
+        assert system.network.sink.count("publish") < N_ITEMS
+
+    def test_forced_batch_rejected_with_replication(self):
+        trace = make_trace()
+        system = build_system(trace, replication_factor=2)
+        with pytest.raises(ValueError, match="batch publish"):
+            system.publish_corpus(trace.corpus, np.random.default_rng(3), batch=True)
+
+    def test_replication_auto_falls_back_to_sequential(self):
+        trace = make_trace()
+        system = build_system(trace, replication_factor=2)
+        results = system.publish_corpus(trace.corpus, np.random.default_rng(3))
+        assert len(results) == N_ITEMS
+        # Replicas exist → the per-item protocol ran.
+        assert system.network.total_items() > N_ITEMS

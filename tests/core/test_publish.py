@@ -134,6 +134,35 @@ class TestDisplacementChain:
         res = run_displacement_chain(system, 100, make_item(2, 100))
         assert not res.success
 
+    def test_budget_zero_swaps_then_drops_victim(self):
+        # Fig. 2 order is swap-then-forward: when the budget expires at a
+        # full node whose least-similar item is NOT the incoming one, the
+        # terminal node still swaps — the incoming item is stored and the
+        # displaced *victim* is what drops (the PublishResult contract).
+        system = make_system([100, 200], capacity=1)
+        system.store_at(200, make_item(1, 900))  # far from incoming → victim
+        res = run_displacement_chain(system, 200, make_item(2, 200), hop_budget=0)
+        assert not res.success
+        assert res.dropped_item_id == 1
+        assert system.network.node(200).has_item(2)
+        assert not system.network.node(200).has_item(1)
+
+    def test_overlay_exhaustion_swaps_at_terminal_node(self):
+        # A chain that runs out of overlay behaves the same way: every
+        # visited full node swaps, and the final victim is the drop.
+        system = make_system([100, 200], capacity=1)
+        system.store_at(200, make_item(1, 900))
+        system.store_at(100, make_item(3, 100))
+        res = run_displacement_chain(system, 200, make_item(2, 200))
+        assert not res.success
+        # 200 swapped 1 out for the incoming 2; 100 swapped 3 out for 1;
+        # no node is left for 3, so 3 is the chain's dropped tail.
+        assert system.network.node(200).has_item(2)
+        assert system.network.node(100).has_item(1)
+        assert res.dropped_item_id == 3
+        assert res.displacement_hops == 1
+        assert system.network.total_items() == 2
+
     def test_item_conservation_no_budget(self):
         system = make_system(list(range(100, 1100, 100)), capacity=2)
         rng = np.random.default_rng(0)

@@ -5,6 +5,8 @@ import pytest
 
 from repro.core.meteorograph import Meteorograph, MeteorographConfig, PlacementScheme
 from repro.core.search import find_item, retrieve, retrieve_with_pointers
+from repro.obs import Observability
+from repro.overlay.base import RoutingError
 from repro.overlay.idspace import KeySpace
 from repro.overlay.tornado import TornadoOverlay
 from repro.sim.network import Network
@@ -14,8 +16,8 @@ DIM = 32
 SPACE = KeySpace(10_000)
 
 
-def make_system(node_ids, capacity=None, directory_pointers=False) -> Meteorograph:
-    network = Network()
+def make_system(node_ids, capacity=None, directory_pointers=False, obs=None) -> Meteorograph:
+    network = Network(obs=obs)
     overlay = TornadoOverlay(SPACE, network)
     cfg = MeteorographConfig(
         scheme=PlacementScheme.NONE,
@@ -213,3 +215,78 @@ class TestPointerRetrieve:
             system, 0, query({3: 1.0}), amount=None, patience=20
         )
         assert 1 in res.item_ids()
+
+    def test_fetch_walk_replies_are_counted(self):
+        # With capacity 1 the bodies displace onto the home's neighbors
+        # while every pointer stays on the angle home.  Each stage-2
+        # walk node that contributes items sends one reply — the same
+        # accounting as retrieve's walk, so §3.5.2 totals compare.
+        system = make_system(
+            list(range(0, 10_000, 250)), capacity=1, directory_pointers=True
+        )
+        for i in range(4):
+            publish(system, i, [3])
+        res = retrieve_with_pointers(
+            system, 0, query({3: 1.0}), amount=None, require_all=[3], patience=20
+        )
+        assert res.found == 4
+        holders = sum(1 for n in system.network.nodes() if len(n))
+        assert res.reply_messages == holders  # one reply per contributing node
+
+    def test_fetch_walk_honors_max_walk(self):
+        system = make_system(
+            list(range(0, 10_000, 250)), capacity=1, directory_pointers=True
+        )
+        for i in range(8):
+            publish(system, i, [3])
+        # Wide walk, tiny patience: the old fixed max(patience, 4) cap
+        # would stop the displacement walk after 4 neighbors and miss
+        # bodies; the caller's max_walk is what bounds it.
+        wide = retrieve_with_pointers(
+            system, 0, query({3: 1.0}), amount=None, require_all=[3],
+            patience=2, max_walk=10,
+        )
+        assert wide.found == 8
+        # Conversely a tight max_walk really limits the fetch walk:
+        # the terminal node plus the two walked neighbors.
+        narrow = retrieve_with_pointers(
+            system, 0, query({3: 1.0}), amount=None, require_all=[3],
+            patience=20, max_walk=2,
+        )
+        assert narrow.found == 3
+
+
+class TestSpanHygiene:
+    """Retrieval spans must close even when routing raises mid-protocol —
+    a leaked open frame would corrupt every span recorded afterwards."""
+
+    def traced(self, **kwargs):
+        obs = Observability()
+        system = make_system(
+            list(range(0, 10_000, 500)), obs=obs, **kwargs
+        )
+        return system, obs.tracer
+
+    def test_retrieve_span_closes_on_success(self):
+        system, tracer = self.traced()
+        publish(system, 1, [3])
+        retrieve(system, 0, query({3: 1.0}), amount=1)
+        assert tracer.depth == 0
+        spans = [s for s in tracer.roots if s.kind == "retrieve"]
+        assert spans and all(s.finished for s in spans)
+
+    def test_retrieve_span_closes_on_routing_error(self):
+        system, tracer = self.traced()
+        system.network.node(0).fail()
+        with pytest.raises(RoutingError):
+            retrieve(system, 0, query({3: 1.0}), amount=1)
+        assert tracer.depth == 0
+        assert all(s.finished for s in tracer.iter_spans())
+
+    def test_pointer_span_closes_on_routing_error(self):
+        system, tracer = self.traced(directory_pointers=True)
+        system.network.node(0).fail()
+        with pytest.raises(RoutingError):
+            retrieve_with_pointers(system, 0, query({3: 1.0}), amount=1)
+        assert tracer.depth == 0
+        assert all(s.finished for s in tracer.iter_spans())

@@ -179,6 +179,72 @@ class TestStabilize:
         assert ov._view is ov.ring
 
 
+class TestEpochCache:
+    """The membership epoch invalidates memoised leaf sets (ROADMAP's
+    route-kernel target: leaf sets are built once per epoch, not per hop)."""
+
+    def test_leaf_set_is_memoised_within_an_epoch(self):
+        ov = make_overlay([10, 20, 30, 50, 90])
+        first = ov.leaf_set(30)
+        assert ov.leaf_set(30) is first  # cache hit: same object back
+
+    def test_join_bumps_epoch_and_busts_cache(self):
+        ov = make_overlay([10, 20, 30, 50, 90])
+        before = ov.leaf_set(30)
+        epoch = ov.membership_epoch
+        ov.add_node(40)
+        assert ov.membership_epoch == epoch + 1
+        after = ov.leaf_set(30)
+        assert after is not before
+        assert 40 in after
+
+    def test_remove_bumps_epoch_and_busts_cache(self):
+        ov = make_overlay([10, 20, 30, 50, 90])
+        before = ov.leaf_set(30)
+        epoch = ov.membership_epoch
+        ov.remove_node(50)
+        assert ov.membership_epoch == epoch + 1
+        after = ov.leaf_set(30)
+        assert after is not before
+        assert 50 not in after
+
+    def test_fail_plus_stabilize_busts_cache(self):
+        # A plain fail() does not notify the overlay (stale-table
+        # semantics: routing detours around the corpse) — the epoch
+        # moves when stabilize() repairs the membership view.
+        ov = make_overlay([10, 20, 30, 50, 90])
+        before = ov.leaf_set(30)
+        epoch = ov.membership_epoch
+        ov.network.fail_nodes([50])
+        assert ov.membership_epoch == epoch
+        ov.stabilize()
+        assert ov.membership_epoch == epoch + 1
+        after = ov.leaf_set(30)
+        assert after is not before
+        assert 50 not in after  # live-only view excludes the failed node
+
+    def test_epoch_is_monotone(self):
+        ov = make_overlay([10, 20, 30])
+        seen = [ov.membership_epoch]
+        ov.add_node(40)
+        seen.append(ov.membership_epoch)
+        ov.stabilize()
+        seen.append(ov.membership_epoch)
+        ov.remove_node(40)
+        seen.append(ov.membership_epoch)
+        assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+    def test_routes_stay_correct_across_epochs(self):
+        ov, rng = random_overlay(60, seed=11)
+        for _ in range(10):  # warm caches
+            ov.route(ov.ring.at(0), int(rng.integers(0, ov.space.modulus)))
+        new_id = 777 if 777 not in ov.ring else 778
+        ov.add_node(new_id)
+        # The new node must be routable-to immediately (no stale cache).
+        res = ov.route(ov.ring.at(0), new_id)
+        assert res.home == new_id
+
+
 class TestNeighborOrder:
     def test_closest_neighbors_linear(self):
         ov = make_overlay([10, 20, 30, 50, 90])
