@@ -62,6 +62,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--roots", type=int, default=3, help="how many span trees to print"
     )
+    trace.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="record only every K-th publish span tree (1 = record all)",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also export every recorded span tree to DIR as "
+        "<experiment>.spans.json (next to rowset CSVs)",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -86,6 +100,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="also write the registry snapshot to DIR as metrics.json + metrics.csv",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="run a seeded churn scenario with repair + retry and report "
+        "availability",
+    )
+    faults.add_argument(
+        "--scenario",
+        default="poisson",
+        choices=sorted(_SCENARIO_NAMES),
+        help="failure shape (default: poisson)",
+    )
+    faults.add_argument("--nodes", type=int, default=300, help="overlay size")
+    faults.add_argument("--items", type=int, default=2000, help="published items")
+    faults.add_argument("--replicas", type=int, default=4, help="copies per item")
+    faults.add_argument(
+        "--fraction",
+        type=float,
+        default=0.5,
+        help="batch-kill kill fraction / region key-space span",
+    )
+    faults.add_argument(
+        "--rate", type=float, default=2.0, help="poisson departure rate"
+    )
+    faults.add_argument(
+        "--count", type=int, default=4, help="flapping: how many nodes flap"
+    )
+    faults.add_argument(
+        "--period", type=float, default=10.0, help="flapping: full cycle length"
+    )
+    faults.add_argument(
+        "--horizon", type=float, default=50.0, help="simulated time to run"
+    )
+    faults.add_argument(
+        "--repair-interval",
+        type=float,
+        default=5.0,
+        help="incremental repair tick period (0 disables repair)",
+    )
+    faults.add_argument(
+        "--full-scan",
+        action="store_true",
+        help="use full-scan repair instead of the incremental engine",
+    )
+    faults.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable retry/backoff home delivery",
+    )
+    faults.add_argument(
+        "--queries", type=int, default=200, help="availability probes at the end"
+    )
+    faults.add_argument("--seed", type=int, default=7, help="run RNG seed")
+    faults.add_argument(
+        "--check",
+        type=float,
+        default=None,
+        metavar="MIN_AVAIL",
+        help="exit non-zero unless availability >= MIN_AVAIL (CI smoke)",
+    )
+    faults.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="with --check: also fail if the run took longer than this",
     )
 
     bench = sub.add_parser(
@@ -155,9 +235,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: ``faults --scenario`` choices; kept as a literal so building the
+#: parser does not import the maint subsystem (startup stays light).
+_SCENARIO_NAMES = ("batch-kill", "poisson", "flapping", "region")
 
 
 #: Instruments ``stats --check`` requires after a demo session; chosen
@@ -176,13 +263,22 @@ def _check_experiment(name: str) -> bool:
 
 
 def _cmd_trace(args) -> int:
+    from .obs import Observability
     from .obs.demo import interesting_roots, traced_session
-    from .obs.trace import render_trace_tree
+    from .obs.trace import TraceBus, render_trace_tree
 
     if not _check_experiment(args.experiment):
         return 2
-    session = traced_session(args.experiment, scale=args.scale, seed=args.seed)
-    total = len(list(session.obs.tracer.iter_spans()))
+    obs = None
+    if args.sample_every != 1:
+        if args.sample_every < 1:
+            print("--sample-every must be >= 1", file=sys.stderr)
+            return 2
+        obs = Observability(tracer=TraceBus(sample_every=args.sample_every))
+    session = traced_session(
+        args.experiment, scale=args.scale, seed=args.seed, obs=obs
+    )
+    total = len(session.obs.tracer.roots)
     if total == 0:
         print("no spans recorded", file=sys.stderr)
         return 1
@@ -192,10 +288,17 @@ def _cmd_trace(args) -> int:
         f"{session.n_finds} finds, {session.n_retrieves} retrieves; "
         f"{'; '.join(session.notes)}"
     )
+    if args.sample_every != 1:
+        print(f"(publish spans sampled 1-in-{args.sample_every})")
     print(f"showing {len(roots)} of {total} recorded root spans:\n")
     for root in roots:
         print(render_trace_tree(root))
         print()
+    if args.out is not None:
+        from .io import write_spans
+
+        path = write_spans(session.obs.tracer, args.out, session.experiment)
+        print(f"span trees written to {path}")
     return 0
 
 
@@ -225,6 +328,101 @@ def _cmd_stats(args) -> int:
                   file=sys.stderr)
             return 1
         print("\nstats --check OK")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .core import Meteorograph, MeteorographConfig, PlacementScheme
+    from .experiments.common import sample_of
+    from .maint import RepairEngine, RetryPolicy, make_scenario, run_scenarios
+    from .sim.engine import Simulator
+    from .workload import WorldCupParams, generate_trace
+
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(args.seed)
+    trace = generate_trace(
+        WorldCupParams(
+            n_items=args.items, n_keywords=max(100, args.items // 5)
+        ),
+        seed=args.seed,
+    )
+    sim = Simulator()
+    config = MeteorographConfig(
+        scheme=PlacementScheme.UNUSED_HASH_HOT,
+        replication_factor=args.replicas,
+        observability=True,
+        retry_policy=None if args.no_retry else RetryPolicy(seed=args.seed),
+    )
+    system = Meteorograph.build(
+        args.nodes,
+        trace.corpus.dim,
+        rng=rng,
+        sample=sample_of(trace.corpus, rng),
+        config=config,
+        simulator=sim,
+    )
+    system.publish_corpus(trace.corpus, rng)
+    engine = None
+    if args.repair_interval > 0 and system.replication is not None:
+        if args.full_scan:
+            system.replication.schedule(args.repair_interval)
+        else:
+            engine = RepairEngine(system).attach()
+            engine.schedule(args.repair_interval)
+    if args.scenario == "batch-kill":
+        scenario = make_scenario("batch-kill", fraction=args.fraction)
+    elif args.scenario == "poisson":
+        scenario = make_scenario("poisson", depart_rate=args.rate)
+    elif args.scenario == "flapping":
+        scenario = make_scenario("flapping", count=args.count, period=args.period)
+    else:
+        scenario = make_scenario("region", span=args.fraction)
+    stats = run_scenarios(system, [scenario], rng, horizon=args.horizon)
+    ok = 0
+    for _ in range(args.queries):
+        if system.network.alive_count() == 0:
+            break  # total wipeout: availability is whatever succeeded so far
+        item = int(rng.integers(0, trace.corpus.n_items))
+        origin = system.random_origin(rng)
+        if system.find(origin, item, max_walk=args.replicas * 4).found:
+            ok += 1
+    availability = ok / args.queries
+    elapsed = time.perf_counter() - t0
+    alive = system.network.alive_count()
+    print(
+        f"[faults:{args.scenario}] nodes {alive}/{args.nodes} alive, "
+        f"items {trace.corpus.n_items}, replicas {args.replicas}, "
+        f"horizon {args.horizon:g}"
+    )
+    print(
+        f"scenario: {stats.failed} failures, {stats.recovered} recoveries, "
+        f"{stats.arrivals} arrivals"
+    )
+    if engine is not None:
+        print(
+            f"repair: {engine.ticks} incremental ticks, "
+            f"{engine.total_placed} replicas placed, "
+            f"{engine.dirty_size} items still dirty"
+        )
+    counters = system.obs.metrics.snapshot().get("counters", {})
+    maint = {k: v for k, v in sorted(counters.items()) if k.startswith("maint.")}
+    if maint:
+        print("maint counters: " + ", ".join(f"{k}={v}" for k, v in maint.items()))
+    print(f"availability: {availability:.3f} ({ok}/{args.queries}) in {elapsed:.2f}s")
+    if args.check is not None:
+        failed = []
+        if availability < args.check:
+            failed.append(f"availability {availability:.3f} < {args.check}")
+        if args.max_seconds is not None and elapsed > args.max_seconds:
+            failed.append(f"runtime {elapsed:.2f}s > {args.max_seconds}s")
+        if failed:
+            print("faults --check FAILED: " + "; ".join(failed), file=sys.stderr)
+            return 1
+        print("faults --check OK")
     return 0
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import bisect
 import enum
 from dataclasses import dataclass
-from typing import Literal, Optional, Sequence
+from typing import TYPE_CHECKING, Literal, Optional, Sequence
 
 import numpy as np
 
@@ -56,6 +56,10 @@ from .search import (
     retrieve,
     retrieve_with_pointers,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..maint.retry import RetryPolicy
+    from ..overlay.base import RouteResult
 
 __all__ = ["PlacementScheme", "MeteorographConfig", "NodeState", "Meteorograph"]
 
@@ -107,6 +111,11 @@ class MeteorographConfig:
     #: registry) per build; or pass an ``Observability`` instance to
     #: share one bus across systems.  See OBSERVABILITY.md.
     observability: "bool | Observability" = False
+    #: Fault-tolerant home delivery: when set, every publish/retrieve
+    #: route goes through :func:`repro.maint.route_with_retry` (bounded
+    #: exponential backoff, deterministic jitter, nearest-live-neighbor
+    #: degradation).  None (default) = plain single-attempt routing.
+    retry_policy: Optional["RetryPolicy"] = None
 
 
 class NodeState:
@@ -405,6 +414,21 @@ class Meteorograph:
 
     def publish_pointer(self, origin: int, item: StoredItem) -> int:
         return _publish_pointer(self, origin, item)
+
+    def deliver_home(self, origin: int, key: int, *, kind: str = "route") -> "RouteResult":
+        """Route a message to the home of ``key``, fault-tolerantly.
+
+        The single chokepoint every publish/retrieve/find route goes
+        through.  Without a configured ``retry_policy`` this is exactly
+        ``overlay.route``; with one, delivery retries with backoff and
+        degrades to the nearest live key-neighbor (see
+        :mod:`repro.maint.retry`).
+        """
+        if self.config.retry_policy is None:
+            return self.overlay.route(origin, key, kind=kind)
+        from ..maint.retry import route_with_retry
+
+        return route_with_retry(self, origin, key, kind=kind)
 
     def register_published(self, item_id: int, angle_key: int, publish_key: int) -> None:
         self._published[item_id] = (angle_key, publish_key)

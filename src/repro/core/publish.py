@@ -196,7 +196,7 @@ def publish_item(
     )
     obs = system.network.obs
     with obs.tracer.span("publish", item=item_id, key=publish_key) as sp:
-        route = system.overlay.route(origin, publish_key, kind="publish")
+        route = system.deliver_home(origin, publish_key, kind="publish")
         assert route.home is not None
         with obs.metrics.timer("publish.displace_chain"):
             result = run_displacement_chain(
@@ -301,7 +301,7 @@ def batch_publish(
     tracer = obs.tracer
     results: list[Optional[PublishResult]] = [None] * n
     with tracer.span("publish_batch", items=n) as sp:
-        route = system.overlay.route(origin, int(keys[order[0]]), kind="publish")
+        route = system.deliver_home(origin, int(keys[order[0]]), kind="publish")
         assert route.home is not None
         # Ring sweep: advance clockwise over live nodes, charging one
         # publish message per step; record each item's marginal cost.

@@ -11,12 +11,20 @@ The manager also implements the periodic monitoring/republishing the
 paper describes: :meth:`ReplicationManager.repair` re-establishes
 missing copies from any surviving holder, and :meth:`schedule` wires it
 to the event engine.
+
+:meth:`repair` is the **full-scan fallback**: it touches every record
+per tick, which is O(published items) regardless of how few nodes
+failed.  The incremental path — :class:`repro.maint.RepairEngine` —
+subscribes to the hooks below (``on_copy_placed`` /
+``on_under_replicated``) plus the network's liveness notifications and
+repairs only the dirty set, delegating the per-record work to
+:meth:`repair_record` so both paths place copies identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..sim.node import StoredItem
 
@@ -51,8 +59,21 @@ class ReplicationManager:
         self.factor = factor
         self.records: dict[int, ReplicaRecord] = {}
         self.skipped_replicas = 0
+        #: Maintenance hooks (set by :class:`repro.maint.RepairEngine`):
+        #: ``on_copy_placed(item_id, node_id)`` fires whenever a node
+        #: becomes a holder of an item (primary registration, replica
+        #: push, repair placement); ``on_under_replicated(item_id)``
+        #: fires when a publish-time replicate could not reach the
+        #: configured factor (targets dead or full).
+        self.on_copy_placed: Optional[Callable[[int, int], None]] = None
+        self.on_under_replicated: Optional[Callable[[int], None]] = None
 
     # -- placement ------------------------------------------------------------
+
+    def _register_holder(self, record: ReplicaRecord, node_id: int) -> None:
+        record.holders.add(node_id)
+        if self.on_copy_placed is not None:
+            self.on_copy_placed(record.item.item_id, node_id)
 
     def replicate(self, home_id: int, item: StoredItem) -> int:
         """Place ``factor − 1`` replicas around ``home_id``.
@@ -64,7 +85,7 @@ class ReplicationManager:
         record = self.records.setdefault(
             item.item_id, ReplicaRecord(item=item, primary=home_id, holders=set())
         )
-        record.holders.add(home_id)
+        self._register_holder(record, home_id)
         if self.factor == 1:
             return 0
         placed = 0
@@ -78,6 +99,8 @@ class ReplicationManager:
         tracer = self.system.network.obs.tracer
         if tracer.enabled and placed:
             tracer.event("replicate", item=item.item_id, primary=home_id, placed=placed)
+        if len(record.holders) < self.factor and self.on_under_replicated is not None:
+            self.on_under_replicated(item.item_id)
         return placed
 
     def _place_replica(
@@ -99,7 +122,7 @@ class ReplicationManager:
             replica_of=record.primary,
         )
         self.system.store_at(target, replica)
-        record.holders.add(target)
+        self._register_holder(record, target)
         return True
 
     # -- introspection -------------------------------------------------------------
@@ -118,38 +141,55 @@ class ReplicationManager:
 
     # -- maintenance ---------------------------------------------------------------
 
+    def repair_record(self, item_id: int, record: ReplicaRecord) -> tuple[int, int]:
+        """Restore one item's copy count; returns ``(placed, live_after)``.
+
+        The shared per-record body of both repair paths: the full scan
+        below and the incremental :class:`repro.maint.RepairEngine`
+        call exactly this, which is what makes their placements
+        provably identical.  Any surviving holder acts as the source;
+        new copies go to the current replica homes of the item's key
+        (the home may have shifted after departures).
+        """
+        live = [
+            h
+            for h in record.holders
+            if self.system.network.is_alive(h)
+            and self.system.network.node(h).has_item(item_id)
+        ]
+        if not live or len(live) >= self.factor:
+            return 0, len(live)
+        src = live[0]
+        new_home = self.system.overlay.live_home(record.item.publish_key)
+        if new_home is None:
+            return 0, len(live)
+        candidates = [new_home] + self.system.overlay.replica_homes(
+            new_home, self.factor
+        )
+        placed = 0
+        for target in candidates:
+            if len(live) >= self.factor:
+                break
+            if target in live or not self.system.network.is_alive(target):
+                continue
+            if self._place_replica(src, target, record.item, record):
+                live.append(target)
+                placed += 1
+        return placed, len(live)
+
     def repair(self) -> int:
         """Republish items whose live copy count dropped below ``factor``.
 
-        Any surviving holder acts as the source; the new copies go to
-        the current replica homes of the item's key (the home may have
-        shifted after departures).  Returns replicas placed.
+        This is the **full-scan** maintenance pass: every record is
+        examined per tick, O(published items).  It remains the fallback
+        that also catches drift the liveness feed cannot see (e.g. a
+        primary displaced off a recorded holder by a later publish);
+        churn-scale runs should prefer the incremental
+        :class:`repro.maint.RepairEngine`.  Returns replicas placed.
         """
         placed = 0
         for item_id, record in self.records.items():
-            live = [
-                h
-                for h in record.holders
-                if self.system.network.is_alive(h)
-                and self.system.network.node(h).has_item(item_id)
-            ]
-            if not live or len(live) >= self.factor:
-                continue
-            src = live[0]
-            new_home = self.system.overlay.live_home(record.item.publish_key)
-            if new_home is None:
-                continue
-            candidates = [new_home] + self.system.overlay.replica_homes(
-                new_home, self.factor
-            )
-            for target in candidates:
-                if len(live) >= self.factor:
-                    break
-                if target in live or not self.system.network.is_alive(target):
-                    continue
-                if self._place_replica(src, target, record.item, record):
-                    live.append(target)
-                    placed += 1
+            placed += self.repair_record(item_id, record)[0]
         return placed
 
     def schedule(self, interval: float) -> None:

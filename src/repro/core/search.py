@@ -143,7 +143,7 @@ def retrieve(
     # close the span on the way out, or the trace tree is left with an
     # unfinished frame (matching publish_item / find_item).
     with obs.tracer.span("retrieve", key=key, origin=origin, amount=amount) as sp:
-        route = system.overlay.route(origin, key, kind="retrieve")
+        route = system.deliver_home(origin, key, kind="retrieve")
         assert route.home is not None
         result = RetrieveResult(route_hops=route.hops)
         seen_items: set[int] = set()
@@ -222,7 +222,7 @@ def find_item(
     obs = system.network.obs
     tracer = obs.tracer
     with tracer.span("find", item=item_id, key=publish_key, origin=origin) as sp:
-        route = system.overlay.route(origin, publish_key, kind="retrieve")
+        route = system.deliver_home(origin, publish_key, kind="retrieve")
         assert route.home is not None
         messages = route.hops
 
@@ -305,7 +305,7 @@ def retrieve_with_pointers(
     with tracer.span(
         "retrieve", key=key, origin=origin, amount=amount, mode="pointers"
     ) as sp:
-        route = system.overlay.route(origin, key, kind="retrieve")
+        route = system.deliver_home(origin, key, kind="retrieve")
         assert route.home is not None
         result = RetrieveResult(route_hops=route.hops)
         result.visited.append(route.home)
@@ -395,7 +395,7 @@ def retrieve_with_pointers(
             wanted = {p.item_id for p in by_home[body_home]}
             if tracer.enabled:
                 tracer.event("fetch", body_home=body_home, promised=len(wanted))
-            fetch = system.overlay.route(fetch_origin, body_home, kind="retrieve")
+            fetch = system.deliver_home(fetch_origin, body_home, kind="retrieve")
             result.fetch_hops += fetch.hops
             result.reply_messages += 1  # the k′-items reply to the pointer home
             terminal = fetch.home

@@ -16,6 +16,7 @@ from .failures import run_failures
 from .crossover import run_crossover
 from .ablation import run_overlay_ablation, run_design_ablation, run_firsthop_ablation
 from .churn import run_churn
+from .repairscale import run_repair_scale
 from .proximity import run_proximity
 from .maintenance import run_join_cost
 from .softstate_exp import run_softstate
@@ -28,6 +29,7 @@ ALL_EXPERIMENTS = {
     "heterogeneous": run_heterogeneous,
     "conjunctions": run_conjunctions,
     "churn": run_churn,
+    "repairscale": run_repair_scale,
     "proximity": run_proximity,
     "joincost": run_join_cost,
     "table1": run_table1,
@@ -71,6 +73,7 @@ __all__ = [
     "run_design_ablation",
     "run_firsthop_ablation",
     "run_churn",
+    "run_repair_scale",
     "run_proximity",
     "run_join_cost",
     "run_softstate",

@@ -1,12 +1,20 @@
 """Experiment X-CHURN (beyond-paper): availability under *continuous* churn.
 
 §4.3 fails nodes in one batch; real overlays churn continuously.  This
-experiment drives Poisson departures through the event engine while the
-§3.6 replication manager runs periodic repair, sampling query
-availability over time.  The claim under test: with repair running at a
-period shorter than the mean time to lose all replicas, availability
-stays near 1 even as cumulative departures pass 50% of the original
-population.
+experiment drives a :class:`repro.maint.PoissonChurn` scenario through
+the event engine while §3.6 replica repair runs periodically, sampling
+query availability over time.  The claim under test: with repair
+running at a period shorter than the mean time to lose all replicas,
+availability stays near 1 even as cumulative departures pass 50% of the
+original population.
+
+Repair defaults to the incremental :class:`repro.maint.RepairEngine`
+(dirty-set ticks fed by the network's liveness notifications);
+``incremental=False`` reverts to the full-scan
+``ReplicationManager.repair``.  The two place copies identically (see
+``tests/maint/test_repair_engine.py``), so the availability rows do not
+depend on the choice — only the tick cost does, which is what
+``run_repair_scale`` measures.
 """
 
 from __future__ import annotations
@@ -14,8 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import PlacementScheme
+from ..maint import PoissonChurn, RepairEngine, install_scenarios
 from ..sim.engine import Simulator
-from ..sim.failures import ChurnProcess
 from ..sim.metrics import MetricSink
 from ..workload import WorldCupTrace
 from .common import RowSet, default_trace, sample_of, timer
@@ -35,6 +43,7 @@ def run_churn(
     queries_per_sample: int = 100,
     seed: int = 2024,
     with_repair: bool = True,
+    incremental: bool = True,
 ) -> RowSet:
     """Rows: (time, departed %, availability) sampled along the run."""
     from ..core import Meteorograph, MeteorographConfig
@@ -63,16 +72,18 @@ def run_churn(
         )
         system.publish_corpus(tr.corpus, rng)
 
-        def on_depart(_victim: int) -> None:
-            # Neighbors notice the departure and repair their view.
-            system.overlay.stabilize()
-
-        churn = ChurnProcess(
-            sim, system.network, rng, depart_rate=depart_rate, on_depart=on_depart
+        # Departures stabilize the overlay (neighbors notice and repair
+        # their routing view) — the scenario's default behaviour.
+        stats = install_scenarios(
+            system, [PoissonChurn(depart_rate=depart_rate)], rng
         )
-        churn.start()
+        engine = None
         if with_repair and system.replication is not None:
-            system.replication.schedule(repair_interval)
+            if incremental:
+                engine = RepairEngine(system).attach()
+                engine.schedule(repair_interval)
+            else:
+                system.replication.schedule(repair_interval)
 
         def sample_availability() -> None:
             alive = system.network.alive_count()
@@ -93,8 +104,12 @@ def run_churn(
             sim.schedule_at(t, sample_availability)
             t += sample_every
         sim.run(until=horizon)
-        churn.stop()
         rs.notes["replicas"] = replicas
         rs.notes["repair"] = with_repair
-        rs.notes["departures"] = churn.stats.departures
+        rs.notes["departures"] = stats.failed
+        if with_repair:
+            rs.notes["engine"] = "incremental" if incremental else "full-scan"
+        if engine is not None:
+            rs.notes["repair_ticks"] = engine.ticks
+            rs.notes["replicas_placed"] = engine.total_placed
     return rs

@@ -130,6 +130,7 @@ def build_system(
     rng: np.random.Generator,
     capacity_multiple: Optional[float] = None,
     sample_fraction: float = 0.005,
+    simulator=None,
     **config_overrides,
 ) -> Meteorograph:
     """Build a system for one experiment cell.
@@ -150,7 +151,8 @@ def build_system(
     # under NONE.
     sample = sample_of(trace.corpus, rng, sample_fraction)
     return Meteorograph.build(
-        n_nodes, trace.corpus.dim, rng=rng, sample=sample, config=cfg
+        n_nodes, trace.corpus.dim, rng=rng, sample=sample, config=cfg,
+        simulator=simulator,
     )
 
 

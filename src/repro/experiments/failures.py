@@ -6,10 +6,13 @@ surviving nodes.  Paper shape targets: at 50% failures, ~80% / ~95% /
 ~99% availability for 2 / 4 / 8 copies; even at 90% failures the
 curves stay ordered (paper: 20% / 30% / 45%).
 
-The overlay stabilizes (repairs its routing state over live nodes)
-after the failure wave, matching §3.6's assumption that Tornado routing
-delivers queries to the numerically closest *live* home, where a
-surviving replica is found whenever one exists.
+The failure wave is a :class:`repro.maint.BatchKill` scenario driven
+through the event engine — the same declarative machinery the ``faults``
+CLI verb and the churn experiment use.  Its default behaviour
+stabilizes the overlay after the wave (repairs routing state over live
+nodes), matching §3.6's assumption that Tornado routing delivers
+queries to the numerically closest *live* home, where a surviving
+replica is found whenever one exists.
 """
 
 from __future__ import annotations
@@ -17,7 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import PlacementScheme
-from ..sim.failures import fail_fraction
+from ..maint import BatchKill, run_scenarios
+from ..sim.engine import Simulator
 from ..workload import WorldCupTrace
 from .common import RowSet, build_system, default_trace, timer
 
@@ -53,11 +57,15 @@ def run_failures(
                     PlacementScheme.UNUSED_HASH_HOT,
                     rng=rng,
                     replication_factor=replicas,
+                    simulator=Simulator(),
                 )
                 system.publish_corpus(tr.corpus, rng)
-                fail_fraction(system.network, frac, rng)
-                if stabilize:
-                    system.overlay.stabilize()
+                run_scenarios(
+                    system,
+                    [BatchKill(fraction=frac, at=0.0, stabilize=stabilize)],
+                    rng,
+                    horizon=0.0,
+                )
                 ok = 0
                 for _ in range(queries):
                     item = int(rng.integers(0, tr.corpus.n_items))

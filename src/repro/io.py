@@ -21,7 +21,7 @@ from typing import Mapping
 
 from .experiments.common import RowSet
 
-__all__ = ["write_rowset", "write_manifest", "read_rowset_csv"]
+__all__ = ["write_rowset", "write_manifest", "read_rowset_csv", "write_spans"]
 
 
 def _slug(experiment_id: str) -> str:
@@ -79,6 +79,24 @@ def write_manifest(
     }
     path = out / "manifest.json"
     path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_spans(tracer, out_dir: str | Path, name: str = "spans") -> Path:
+    """Export a trace bus's span trees as ``<name>.spans.json``.
+
+    Writes next to the rowset CSVs (``meteorograph trace --out``), so a
+    results directory can carry the per-hop trace evidence alongside the
+    figures it explains.  ``tracer`` is anything with ``to_dicts()``
+    (:class:`repro.obs.trace.TraceBus` or its null twin, which exports
+    an empty list).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    roots = tracer.to_dicts()
+    path = out / f"{_slug(name)}.spans.json"
+    payload = {"roots": len(roots), "spans": roots}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

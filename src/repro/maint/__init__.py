@@ -1,0 +1,47 @@
+"""Fault-tolerance subsystem: repair, retry, and churn scenarios.
+
+Three cooperating parts (DESIGN.md, "Fault tolerance"):
+
+* :class:`RepairEngine` — incremental dirty-set replica repair fed by
+  the network's liveness notifications; the full-scan
+  ``ReplicationManager.repair`` remains the fallback, and both paths
+  place copies identically.
+* :class:`RetryPolicy` / :func:`route_with_retry` — bounded
+  exponential backoff (deterministic jitter from the run seed) around
+  publish/retrieve home delivery, degrading to the nearest live
+  key-neighbor when the home stays unreachable.
+* :mod:`repro.maint.scenarios` — declarative churn scenarios (batch
+  kill, Poisson churn, flapping nodes, correlated region failure)
+  driving :mod:`repro.sim.engine`, exposed as the ``faults`` CLI verb.
+"""
+
+from .repair import RepairEngine
+from .retry import RetryPolicy, route_with_retry
+from .scenarios import (
+    BUILTIN_SCENARIOS,
+    BatchKill,
+    FlappingNodes,
+    PoissonChurn,
+    RegionFailure,
+    Scenario,
+    ScenarioStats,
+    install_scenarios,
+    make_scenario,
+    run_scenarios,
+)
+
+__all__ = [
+    "RepairEngine",
+    "RetryPolicy",
+    "route_with_retry",
+    "Scenario",
+    "ScenarioStats",
+    "BatchKill",
+    "PoissonChurn",
+    "FlappingNodes",
+    "RegionFailure",
+    "install_scenarios",
+    "run_scenarios",
+    "make_scenario",
+    "BUILTIN_SCENARIOS",
+]

@@ -1,0 +1,200 @@
+"""Incremental replica repair over a dirty set of affected items.
+
+The full-scan :meth:`repro.core.replication.ReplicationManager.repair`
+examines every record per maintenance tick — O(published items) even
+when a single node failed — which is what capped churn experiments near
+10⁴ items (ROADMAP: ~4 ms/event at demo scale).  The
+:class:`RepairEngine` turns that around: it maintains a **holder
+index** (node id → item ids it holds a copy of) and a **dirty set** of
+item ids whose copy count may have changed, fed by
+
+* the network's liveness notifications (fail / recover / remove) — a
+  holder's death marks exactly its items dirty;
+* the replication manager's ``on_copy_placed`` hook — keeps the holder
+  index current as publishes and repairs place copies;
+* the ``on_under_replicated`` hook — publish-time shortfalls (targets
+  full or dead) enter the dirty set so the engine retries them exactly
+  like the full scan would.
+
+A :meth:`tick` then repairs only the dirty items, in record-insertion
+order, through the *same* per-record body the full scan uses
+(``ReplicationManager.repair_record``) — so on any run whose liveness
+transitions all flow through the :class:`~repro.sim.network.Network`
+(batch kills, Poisson churn, flapping, region failures: everything in
+:mod:`repro.maint.scenarios`), the engine's placements are identical to
+full-scan placements.  ``tests/maint/test_repair_engine.py`` pins the
+equivalence property.  Items the tick cannot restore to factor (no live
+home yet, targets full) stay dirty and are retried next tick, again
+matching the full scan; items with zero live copies leave the set — a
+holder's later recovery re-dirties them via the liveness feed.
+
+Metrics (when the system is observable): ``maint.repair_tick`` timer,
+``maint.dirty_marked`` / ``maint.items_repaired`` /
+``maint.replicas_placed`` counters, ``maint.dirty_size`` distribution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.meteorograph import Meteorograph
+    from ..sim.engine import PeriodicTask
+
+__all__ = ["RepairEngine"]
+
+
+class RepairEngine:
+    """Dirty-set replica repair driven by liveness notifications.
+
+    Build one over a replicated system and :meth:`attach` it::
+
+        engine = RepairEngine(system).attach()
+        engine.schedule(interval)          # periodic ticks, or
+        engine.tick()                      # one repair pass now
+
+    ``attach`` seeds the holder index from the replication records that
+    already exist, so attaching after a corpus publish is fine.
+    """
+
+    def __init__(self, system: "Meteorograph") -> None:
+        if system.replication is None:
+            raise ValueError(
+                "RepairEngine needs a replicated system "
+                "(replication_factor > 1)"
+            )
+        self.system = system
+        self.manager = system.replication
+        #: node id -> item ids the node holds a copy of.  Entries of
+        #: dead nodes are retained (their items resurface on recovery)
+        #: and dropped only on permanent removal.
+        self.holder_index: dict[int, set[int]] = {}
+        #: item ids whose live copy count may have changed.
+        self.dirty: set[int] = set()
+        #: item id -> record-insertion rank; ticks repair dirty items in
+        #: this order so placements match the full scan's dict-order
+        #: iteration.
+        self._order: dict[int, int] = {}
+        self._next_rank = 0
+        self._attached = False
+        self.ticks = 0
+        self.total_placed = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self) -> "RepairEngine":
+        """Subscribe to the network and manager; seed the holder index."""
+        if self._attached:
+            raise RuntimeError("RepairEngine already attached")
+        self._attached = True
+        for item_id, record in self.manager.records.items():
+            self._order[item_id] = self._next_rank
+            self._next_rank += 1
+            for holder in record.holders:
+                self.holder_index.setdefault(holder, set()).add(item_id)
+        self.manager.on_copy_placed = self._on_copy_placed
+        self.manager.on_under_replicated = self._mark_dirty
+        self.system.network.subscribe_liveness(self._on_liveness)
+        return self
+
+    def schedule(self, interval: float) -> "PeriodicTask":
+        """Run :meth:`tick` periodically on the attached simulator."""
+        sim = self.system.network.simulator
+        if sim is None:
+            raise RuntimeError("network has no simulator for periodic repair")
+        return sim.schedule_every(interval, lambda: self.tick())
+
+    # -- notification sinks ------------------------------------------------
+
+    def _on_copy_placed(self, item_id: int, node_id: int) -> None:
+        if item_id not in self._order:
+            self._order[item_id] = self._next_rank
+            self._next_rank += 1
+        self.holder_index.setdefault(node_id, set()).add(item_id)
+
+    def _mark_dirty(self, item_id: int) -> None:
+        self.dirty.add(item_id)
+        obs = self.system.network.obs
+        if obs.enabled:
+            obs.metrics.counter("maint.dirty_marked")
+
+    def _on_liveness(self, node_id: int, change: str) -> None:
+        if change == "remove":
+            held = self.holder_index.pop(node_id, None)
+        else:  # "fail" or "recover": copies stay on disk either way
+            held = self.holder_index.get(node_id)
+        if not held:
+            return
+        self.dirty.update(held)
+        obs = self.system.network.obs
+        if obs.enabled:
+            obs.metrics.counter("maint.dirty_marked", len(held))
+
+    # -- repair ------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Repair every dirty item; returns replicas placed.
+
+        Items still short of the factor afterwards (but with at least
+        one live copy) remain dirty for the next tick.  Cost is
+        O(dirty items), not O(published items).
+        """
+        obs = self.system.network.obs
+        with obs.metrics.timer("maint.repair_tick"):
+            placed = self._tick()
+        self.ticks += 1
+        self.total_placed += placed
+        return placed
+
+    def _tick(self) -> int:
+        obs = self.system.network.obs
+        if obs.enabled:
+            obs.metrics.observe("maint.dirty_size", len(self.dirty))
+        if not self.dirty:
+            return 0
+        records = self.manager.records
+        factor = self.manager.factor
+        order = self._order
+        pending = sorted(self.dirty, key=lambda i: order.get(i, 1 << 62))
+        self.dirty.clear()
+        placed = 0
+        repaired = 0
+        for item_id in pending:
+            record = records.get(item_id)
+            if record is None:
+                continue
+            n, live_after = self.manager.repair_record(item_id, record)
+            placed += n
+            if n:
+                repaired += 1
+            if 0 < live_after < factor:
+                # Could not restore the factor this tick (no live home,
+                # or every candidate full/dead) — retry next tick, like
+                # the full scan re-examines it every pass.
+                self.dirty.add(item_id)
+        if obs.enabled and placed:
+            obs.metrics.counter("maint.replicas_placed", placed)
+            obs.metrics.counter("maint.items_repaired", repaired)
+            if obs.tracer.enabled:
+                obs.tracer.event(
+                    "repair", items=repaired, placed=placed, pending=len(self.dirty)
+                )
+        return placed
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def dirty_size(self) -> int:
+        return len(self.dirty)
+
+    def holders_of(self, item_id: int) -> set[int]:
+        """Nodes the index currently credits with a copy of ``item_id``."""
+        return {
+            nid for nid, items in self.holder_index.items() if item_id in items
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RepairEngine(dirty={len(self.dirty)}, ticks={self.ticks}, "
+            f"placed={self.total_placed})"
+        )

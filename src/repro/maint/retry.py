@@ -1,0 +1,182 @@
+"""Retry, timeout-backoff, and graceful degradation for home delivery.
+
+Routing in a churning overlay can stall: greedy strict-descent detours
+around dead next-hops, but with stale tables (``fail()`` does not bump
+the membership epoch — §3.6 stale-table semantics) a route may
+terminate at a node that is *not* the live home.  The
+:class:`RetryPolicy` wraps publish/retrieve home delivery with bounded
+exponential backoff:
+
+1. attempt the route; a route that reaches the live home succeeds;
+2. otherwise wait ``base_delay · 2^attempt`` (capped at ``max_delay``)
+   plus **deterministic jitter** derived from the run seed and the
+   message key — no RNG state, so two runs with the same seed produce
+   bit-identical delay sequences (``tests/maint/test_retry.py`` pins
+   this) — then re-attempt from the stall point;
+3. after ``max_attempts`` the delivery *degrades gracefully*: the
+   message is handed to the nearest live key-neighbor of the home
+   (the §3.6 failover target, where a surviving replica lives if any
+   does) and the detour is recorded.
+
+Backoff waits are **simulated time**: with ``advance_time=True`` and a
+simulator attached the wait actually runs the event engine (letting
+scheduled repair/stabilize ticks heal the overlay between attempts);
+the default merely records the would-be delay, keeping the count-based
+experiments re-entrancy-free.
+
+Metrics: ``maint.retries`` / ``maint.detours`` /
+``maint.delivery_failed`` counters, ``maint.backoff_delay``
+distribution, ``maint.deliver`` timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..overlay.base import RouteResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.meteorograph import Meteorograph
+
+__all__ = ["RetryPolicy", "route_with_retry"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 step — the deterministic jitter kernel."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with seed-deterministic jitter.
+
+    ``max_attempts`` counts route attempts including the first; the
+    fallback to the nearest live key-neighbor happens only after the
+    last attempt still failed.  ``jitter`` is the fractional spread:
+    a delay ``d`` becomes ``d · (1 + jitter · u)`` with ``u ∈ [0, 1)``
+    drawn deterministically from ``(seed, token, attempt)``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    max_delay: float = 8.0
+    jitter: float = 0.25
+    seed: int = 0
+    #: Run the attached simulator for the backoff window, so scheduled
+    #: maintenance (repair ticks, stabilize) executes between attempts.
+    #: Off by default: the count-based experiments must not re-enter
+    #: the event loop from inside a query callback.
+    advance_time: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}/{self.max_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0,1], got {self.jitter}")
+
+    def jitter_unit(self, attempt: int, token: int = 0) -> float:
+        """Deterministic uniform-ish draw in [0, 1) for one attempt."""
+        h = _splitmix64(
+            (self.seed & _MASK64)
+            ^ ((token & _MASK64) * 0xD1342543DE82EF95 & _MASK64)
+            ^ ((attempt + 1) * 0x2545F4914F6CDD1D & _MASK64)
+        )
+        return h / float(1 << 64)
+
+    def delay(self, attempt: int, token: int = 0) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        base = min(self.max_delay, self.base_delay * (2.0**attempt))
+        return base * (1.0 + self.jitter * self.jitter_unit(attempt, token))
+
+
+def _delivered(system: "Meteorograph", route: RouteResult) -> bool:
+    """Did the route land on the live home of its key?"""
+    return (
+        route.succeeded
+        and route.home is not None
+        and system.network.is_alive(route.home)
+    )
+
+
+def route_with_retry(
+    system: "Meteorograph",
+    origin: int,
+    key: int,
+    *,
+    kind: str = "route",
+) -> RouteResult:
+    """Home delivery under the configured :class:`RetryPolicy`.
+
+    Returns a :class:`~repro.overlay.base.RouteResult` whose ``home``
+    is live whenever *any* live node can serve the key: either the
+    route (eventually) reached the live home, or the message was handed
+    to the nearest live key-neighbor as a recorded detour.  Only when
+    the overlay holds no live node at all does the result come back
+    failed.
+    """
+    policy = system.config.retry_policy
+    assert policy is not None, "route_with_retry needs config.retry_policy"
+    network = system.network
+    obs = network.obs
+    with obs.metrics.timer("maint.deliver"):
+        route = system.overlay.route(origin, key, kind=kind)
+        attempt = 1
+        while not _delivered(system, route) and attempt < policy.max_attempts:
+            d = policy.delay(attempt - 1, token=key)
+            if obs.enabled:
+                obs.metrics.counter("maint.retries")
+                obs.metrics.observe("maint.backoff_delay", d)
+                if obs.tracer.enabled:
+                    obs.tracer.event(
+                        "retry", key=key, attempt=attempt, delay=round(d, 4)
+                    )
+            sim = network.simulator
+            if policy.advance_time and sim is not None:
+                sim.run(until=sim.now + d)
+            retry_from = (
+                route.home
+                if route.home is not None and network.is_alive(route.home)
+                else origin
+            )
+            retry = system.overlay.route(retry_from, key, kind=kind)
+            # Accumulate the true message bill across attempts.
+            retry.path = route.path + retry.path[1:]
+            retry.origin = origin
+            route = retry
+            attempt += 1
+        if _delivered(system, route):
+            return route
+        # Graceful degradation: deliver to the nearest live key-neighbor
+        # (the §3.6 failover target) and record the detour.
+        fallback = system.overlay.live_home(key)
+        if fallback is None:
+            if obs.enabled:
+                obs.metrics.counter("maint.delivery_failed")
+                if obs.tracer.enabled:
+                    obs.tracer.event("giveup", key=key, attempts=attempt)
+            return route
+        if route.home is not None and fallback != route.home:
+            # One recorded hand-off hop from the stall point.
+            network.send(route.home, fallback, kind=kind)
+            route.path.append(fallback)
+        route.home = fallback
+        route.succeeded = True
+        if obs.enabled:
+            obs.metrics.counter("maint.detours")
+            if obs.tracer.enabled:
+                obs.tracer.event(
+                    "detour", key=key, home=fallback, attempts=attempt
+                )
+    return route

@@ -1,0 +1,322 @@
+"""Declarative churn scenarios driving the event engine.
+
+The fault-injection primitives live in :mod:`repro.sim.failures`
+(batch :func:`~repro.sim.failures.fail_fraction`, Poisson
+:class:`~repro.sim.failures.ChurnProcess`); this module packages them —
+plus two failure shapes the primitives cannot express — as small
+declarative objects a CLI flag or an experiment can instantiate and
+hand to one :func:`install_scenarios` call:
+
+* :class:`BatchKill` — the paper's §4.3 model: a fraction of the live
+  nodes dies at one instant.
+* :class:`PoissonChurn` — continuous exponential departures (and
+  optionally arrivals) between ``start`` and ``stop``.
+* :class:`FlappingNodes` — a fixed set of nodes cycles dead/alive with
+  a given period, the classic repair-engine stress test (every flap
+  re-dirties the node's items via the liveness feed).
+* :class:`RegionFailure` — every node within a key-space interval dies
+  at once, modelling correlated failure of a rack/AS whose node ids
+  were named into one region.
+
+All randomness flows through the caller's generator, so a seeded run
+replays exactly; all liveness transitions go through the
+:class:`~repro.sim.network.Network` so the :class:`repro.maint.repair.
+RepairEngine`'s dirty set sees every one of them.  ``spare`` protects
+ids that must survive (bootstrap / querying nodes).
+
+Scenarios are exposed on the command line as the ``faults`` verb
+(``meteorograph faults --scenario flapping ...``) via
+:data:`BUILTIN_SCENARIOS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from ..sim.engine import Simulator
+from ..sim.failures import ChurnProcess, fail_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.meteorograph import Meteorograph
+
+__all__ = [
+    "ScenarioStats",
+    "Scenario",
+    "BatchKill",
+    "PoissonChurn",
+    "FlappingNodes",
+    "RegionFailure",
+    "install_scenarios",
+    "run_scenarios",
+    "make_scenario",
+    "BUILTIN_SCENARIOS",
+]
+
+
+@dataclass
+class ScenarioStats:
+    """What the installed scenarios did to the overlay."""
+
+    failed: int = 0
+    recovered: int = 0
+    arrivals: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "failed": self.failed,
+            "recovered": self.recovered,
+            "arrivals": self.arrivals,
+        }
+
+
+@dataclass
+class _Ctx:
+    """Everything a scenario's scheduled callbacks close over."""
+
+    system: "Meteorograph"
+    sim: Simulator
+    rng: np.random.Generator
+    stats: ScenarioStats
+    spare: Optional[set[int]] = None
+
+    def stabilize(self) -> None:
+        self.system.overlay.stabilize()
+
+    def candidates(self) -> list[int]:
+        return [
+            nid
+            for nid in self.system.network.alive_ids()
+            if self.spare is None or nid not in self.spare
+        ]
+
+
+class Scenario:
+    """Base: a declarative failure shape that installs simulator events."""
+
+    def install(self, ctx: _Ctx) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BatchKill(Scenario):
+    """Kill ``fraction`` of the live nodes at time ``at`` (§4.3)."""
+
+    fraction: float = 0.5
+    at: float = 0.0
+    stabilize: bool = True
+
+    def install(self, ctx: _Ctx) -> None:
+        def fire() -> None:
+            failed = fail_fraction(
+                ctx.system.network, self.fraction, ctx.rng, spare=ctx.spare
+            )
+            ctx.stats.failed += len(failed)
+            if self.stabilize:
+                ctx.stabilize()
+
+        ctx.sim.schedule_at(self.at, fire)
+
+
+@dataclass(frozen=True)
+class PoissonChurn(Scenario):
+    """Continuous churn between ``start`` and ``stop`` (None = forever).
+
+    Thin declarative wrapper over
+    :class:`~repro.sim.failures.ChurnProcess`; the generator call order
+    is exactly the process's own, so a seeded experiment that migrates
+    to this scenario reproduces its previous runs.
+    """
+
+    depart_rate: float = 1.0
+    arrive_rate: float = 0.0
+    start: float = 0.0
+    stop: Optional[float] = None
+    stabilize: bool = True
+
+    def install(self, ctx: _Ctx) -> None:
+        def on_depart(_victim: int) -> None:
+            ctx.stats.failed += 1
+            if self.stabilize:
+                ctx.stabilize()
+
+        def on_arrive() -> None:
+            ctx.stats.arrivals += 1
+
+        proc = ChurnProcess(
+            ctx.sim,
+            ctx.system.network,
+            ctx.rng,
+            depart_rate=self.depart_rate,
+            arrive_rate=self.arrive_rate,
+            on_depart=on_depart,
+            on_arrive=on_arrive,
+        )
+        if self.start <= ctx.sim.now:
+            proc.start()
+        else:
+            ctx.sim.schedule_at(self.start, proc.start)
+        if self.stop is not None:
+            ctx.sim.schedule_at(self.stop, proc.stop)
+
+
+@dataclass(frozen=True)
+class FlappingNodes(Scenario):
+    """``count`` nodes cycle dead → alive with period ``period``.
+
+    Node *i*'s first failure lands at ``start + period · (i+1)/count``
+    (staggered, so the flaps interleave rather than pulse together);
+    each stays down for ``down_for`` (default: half the period), then
+    recovers and the cycle repeats until ``stop`` (None = forever).
+    The victims are drawn once, at install time, from the caller's rng.
+    """
+
+    count: int = 4
+    period: float = 10.0
+    down_for: Optional[float] = None
+    start: float = 0.0
+    stop: Optional[float] = None
+    stabilize: bool = True
+
+    def install(self, ctx: _Ctx) -> None:
+        down_for = self.period / 2.0 if self.down_for is None else self.down_for
+        if not 0.0 < down_for < self.period:
+            raise ValueError(
+                f"down_for must be in (0, period), got {down_for}/{self.period}"
+            )
+        candidates = ctx.candidates()
+        n = min(self.count, len(candidates))
+        if n == 0:
+            return
+        idx = ctx.rng.choice(len(candidates), size=n, replace=False)
+        chosen = [candidates[int(i)] for i in idx]
+        network = ctx.system.network
+
+        def flap(nid: int, first_down: float) -> None:
+            def down() -> None:
+                if self.stop is not None and ctx.sim.now >= self.stop:
+                    return
+                if network.fail_node(nid):
+                    ctx.stats.failed += 1
+                    if self.stabilize:
+                        ctx.stabilize()
+                ctx.sim.schedule(down_for, up)
+
+            def up() -> None:
+                if network.recover_node(nid):
+                    ctx.stats.recovered += 1
+                    if self.stabilize:
+                        ctx.stabilize()
+                if self.stop is None or ctx.sim.now < self.stop:
+                    ctx.sim.schedule(self.period - down_for, down)
+
+            ctx.sim.schedule_at(first_down, down)
+
+        for i, nid in enumerate(chosen):
+            flap(nid, self.start + self.period * (i + 1) / n)
+
+
+@dataclass(frozen=True)
+class RegionFailure(Scenario):
+    """Correlated failure: every node in one key interval dies at ``at``.
+
+    The interval spans ``span`` of the key space (ring distance),
+    centred on ``center`` — or on a key drawn from the rng when None.
+    Models co-located nodes (one rack, one AS) whose overlay ids were
+    named into the same region going down together, the §3.6 replica
+    scheme's worst case: numerically-close replica holders share fate.
+    """
+
+    span: float = 0.1
+    center: Optional[int] = None
+    at: float = 0.0
+    stabilize: bool = True
+
+    def install(self, ctx: _Ctx) -> None:
+        if not 0.0 < self.span <= 1.0:
+            raise ValueError(f"span must be in (0, 1], got {self.span}")
+
+        def fire() -> None:
+            m = ctx.system.space.modulus
+            center = (
+                int(ctx.rng.integers(0, m)) if self.center is None else self.center
+            )
+            half = self.span * m / 2.0
+            victims = []
+            for nid in ctx.candidates():
+                d = abs(nid - center) % m
+                if min(d, m - d) <= half:
+                    victims.append(nid)
+            n = ctx.system.network.fail_nodes(victims)
+            ctx.stats.failed += n
+            obs = ctx.system.network.obs
+            if obs.enabled:
+                obs.metrics.counter("failures.region_failed", n)
+                obs.tracer.event(
+                    "fail", count=n, region=center, span=round(self.span, 4)
+                )
+            if self.stabilize:
+                ctx.stabilize()
+
+        ctx.sim.schedule_at(self.at, fire)
+
+
+# -- driving ----------------------------------------------------------------
+
+
+def install_scenarios(
+    system: "Meteorograph",
+    scenarios: Sequence[Scenario],
+    rng: np.random.Generator,
+    *,
+    spare: Optional[set[int]] = None,
+) -> ScenarioStats:
+    """Install every scenario's events on the system's simulator.
+
+    Returns the (live-updating) :class:`ScenarioStats` the scenarios
+    share.  The caller owns the clock: schedule measurement probes as
+    needed, then ``sim.run(until=horizon)``.
+    """
+    sim = system.network.simulator
+    if sim is None:
+        raise RuntimeError("scenarios need a system built with a simulator")
+    stats = ScenarioStats()
+    ctx = _Ctx(system=system, sim=sim, rng=rng, stats=stats, spare=spare)
+    for scenario in scenarios:
+        scenario.install(ctx)
+    return stats
+
+
+def run_scenarios(
+    system: "Meteorograph",
+    scenarios: Sequence[Scenario],
+    rng: np.random.Generator,
+    *,
+    horizon: float,
+    spare: Optional[set[int]] = None,
+) -> ScenarioStats:
+    """Install and run to ``horizon`` in one step (CLI / smoke-test path)."""
+    stats = install_scenarios(system, scenarios, rng, spare=spare)
+    system.network.simulator.run(until=horizon)
+    return stats
+
+
+#: CLI-exposed scenario constructors, keyed by ``faults --scenario`` name.
+BUILTIN_SCENARIOS: dict[str, type[Scenario]] = {
+    "batch-kill": BatchKill,
+    "poisson": PoissonChurn,
+    "flapping": FlappingNodes,
+    "region": RegionFailure,
+}
+
+
+def make_scenario(name: str, **params: object) -> Scenario:
+    """Instantiate a builtin scenario by name (the ``faults`` verb's hook)."""
+    try:
+        cls = BUILTIN_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
+    return cls(**params)  # type: ignore[arg-type]

@@ -62,6 +62,8 @@ _LOOPS = {
     "local_index_query": 50,
     "batch_publish": 1,
     "publish_per_item": 1,
+    "repair_tick_incremental": 1,
+    "repair_full_scan": 1,
 }
 
 
@@ -171,6 +173,47 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         res = system.publish_corpus(corpus, np.random.default_rng(3), batch=False)
         return len(res)
 
+    # Repair kernels: a replicated system with a 5% failure batch, then
+    # one maintenance pass — dirty-set incremental vs full scan.  The
+    # ratio is the O(affected)-vs-O(published) gap the RepairEngine
+    # exists for (results/repairscale.csv shows it at 10^4 items).
+    from ..maint import RepairEngine
+    from ..sim.failures import fail_fraction
+
+    repair_cfg = MeteorographConfig(
+        scheme=PlacementScheme.UNUSED_HASH, replication_factor=2
+    )
+    repair_ids = np.sort(
+        np.random.default_rng(6).choice(
+            corpus.n_items, min(2000, corpus.n_items), replace=False
+        )
+    )
+    repair_corpus = corpus.subsample(repair_ids)
+
+    def prepare_repair(incremental: bool):
+        def prep() -> object:
+            system = Meteorograph.build(
+                n_nodes,
+                corpus.dim,
+                rng=np.random.default_rng(11),
+                sample=publish_sample,
+                config=repair_cfg,
+            )
+            system.publish_corpus(repair_corpus, np.random.default_rng(4))
+            engine = RepairEngine(system).attach() if incremental else None
+            fail_fraction(system.network, 0.05, np.random.default_rng(8))
+            return system, engine
+
+        return prep
+
+    def repair_incremental(state) -> int:
+        _, engine = state
+        return engine.tick()
+
+    def repair_full(state) -> int:
+        system, _ = state
+        return system.replication.repair()
+
     return {
         "absolute_angles": lambda: absolute_angles(corpus),
         "corpus_to_keys": lambda: corpus_to_keys(corpus, space),
@@ -180,6 +223,8 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         "local_index_query": lambda: idx.query(q, 20),
         "batch_publish": (prepare_publish, publish_batch),
         "publish_per_item": (prepare_publish, publish_sequential),
+        "repair_tick_incremental": (prepare_repair(True), repair_incremental),
+        "repair_full_scan": (prepare_repair(False), repair_full),
     }
 
 

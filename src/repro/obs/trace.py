@@ -107,26 +107,59 @@ class TraceBus:
     until :meth:`clear`; the demo/CLI sessions this repo runs are small
     enough that unbounded retention is fine, and ``max_roots`` caps it
     for long-lived systems (oldest roots are dropped first).
+
+    ``sample_every=k`` keeps only every k-th *root* span of the kinds in
+    ``sample_kinds`` (default: the publish family — the highest-volume
+    producers) and mutes everything nested beneath a dropped root, so a
+    sampled bus still records whole, internally-consistent trees.
+    Sampling is per-kind round-robin (1st, k+1st, 2k+1st, ... kept) —
+    deterministic, no RNG.  ``k=1`` (the default) records everything.
     """
 
     enabled = True
+
+    #: Root kinds subject to ``sample_every`` thinning.
+    DEFAULT_SAMPLE_KINDS = frozenset({"publish", "publish_batch"})
 
     def __init__(
         self,
         clock: Callable[[], float] = time.perf_counter,
         *,
         max_roots: Optional[int] = None,
+        sample_every: int = 1,
+        sample_kinds: Optional[frozenset[str]] = None,
     ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self._clock = clock
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self._ids = itertools.count(1)
         self.max_roots = max_roots
+        self.sample_every = sample_every
+        self.sample_kinds = (
+            self.DEFAULT_SAMPLE_KINDS if sample_kinds is None else sample_kinds
+        )
+        self._sample_seen: dict[str, int] = {}
+        #: >0 while inside a sampled-out root: spans/events are dropped.
+        self._mute_depth = 0
+        self._muted_span = _MutedSpan(self)
 
     # -- recording ---------------------------------------------------------
 
-    def span(self, kind: str, **attrs: object) -> Span:
+    def _sampled_out(self, kind: str) -> bool:
+        """Root-level sampling decision for one span kind."""
+        if self.sample_every == 1 or kind not in self.sample_kinds:
+            return False
+        seen = self._sample_seen.get(kind, 0)
+        self._sample_seen[kind] = seen + 1
+        return seen % self.sample_every != 0
+
+    def span(self, kind: str, **attrs: object) -> "Span | _MutedSpan":
         """Open a span nested under the currently open one (if any)."""
+        if self._mute_depth or (not self._stack and self._sampled_out(kind)):
+            self._mute_depth += 1
+            return self._muted_span
         sp = Span(kind, next(self._ids), self._clock(), self)
         if attrs:
             sp.attrs.update(attrs)
@@ -155,8 +188,10 @@ class TraceBus:
             if top is span:
                 return
 
-    def event(self, kind: str, **attrs: object) -> Span:
+    def event(self, kind: str, **attrs: object) -> "Span | _NullSpan":
         """Record a zero-duration child of the open span (or a root)."""
+        if self._mute_depth:
+            return _NULL_SPAN  # events are fire-and-forget; nothing to balance
         sp = Span(kind, next(self._ids), self._clock(), self)
         sp.t_end = sp.t_start
         if attrs:
@@ -185,9 +220,39 @@ class TraceBus:
     def clear(self) -> None:
         self.roots.clear()
         self._stack.clear()
+        self._sample_seen.clear()
+        self._mute_depth = 0
 
     def to_dicts(self) -> list[dict]:
         return [r.to_dict() for r in self.roots]
+
+
+class _MutedSpan:
+    """Span stand-in inside a sampled-out root.
+
+    Every :meth:`TraceBus.span` call made while muted increments the
+    bus's mute depth and hands this out; each ``__exit__`` decrements,
+    so the bus un-mutes exactly when the dropped root closes.  Note the
+    balance requires context-managed use (``with bus.span(...)``) —
+    which is how every call site in this repo opens spans; a muted span
+    abandoned without ``__exit__`` would leave the bus muted.
+    """
+
+    __slots__ = ("_bus",)
+
+    def __init__(self, bus: TraceBus) -> None:
+        self._bus = bus
+
+    def __enter__(self) -> "_MutedSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._bus._mute_depth > 0:
+            self._bus._mute_depth -= 1
+        return False
+
+    def set(self, **attrs: object) -> "_MutedSpan":
+        return self
 
 
 class _NullSpan:

@@ -117,7 +117,9 @@ class ChurnProcess:
         alive = list(self.network.alive_ids())
         if alive:
             victim = alive[int(self.rng.integers(0, len(alive)))]
-            self.network.node(victim).fail()
+            # Through the network so liveness listeners (the maint
+            # subsystem's dirty-set repair) see the departure.
+            self.network.fail_node(victim)
             self.stats.departures += 1
             obs = self.network.obs
             if obs.enabled:

@@ -12,6 +12,15 @@ charges one message and either succeeds (destination alive) or fails.
 Latency-based delivery through the event engine is available via
 :meth:`Network.send_after` for the time-driven machinery (replica
 monitoring, churn).
+
+The network is also the **liveness authority** the fault-tolerance
+subsystem (:mod:`repro.maint`) subscribes to: every liveness transition
+applied *through the network* — :meth:`Network.fail_node`,
+:meth:`Network.recover_node`, :meth:`Network.fail_nodes`,
+:meth:`Network.remove_node` — notifies registered listeners, which is
+how holder deaths reach the incremental repair engine's dirty set.
+Flipping ``PeerNode.alive`` directly bypasses the listeners by design
+(it models a silent failure nobody has detected yet).
 """
 
 from __future__ import annotations
@@ -58,6 +67,10 @@ class Network:
         # so the disabled check must be a single attribute load.
         self._obs_on = self.obs.enabled
         self._nodes: dict[int, PeerNode] = {}
+        #: Liveness listeners: ``cb(node_id, change)`` with ``change`` one
+        #: of ``"fail"`` / ``"recover"`` / ``"remove"``.  Fired *after*
+        #: the transition is applied.  See :meth:`subscribe_liveness`.
+        self._liveness_listeners: list[Callable[[int, str], None]] = []
 
     # -- membership --------------------------------------------------------
 
@@ -74,9 +87,11 @@ class Network:
 
     def remove_node(self, node_id: int) -> PeerNode:
         try:
-            return self._nodes.pop(node_id)
+            node = self._nodes.pop(node_id)
         except KeyError:
             raise KeyError(f"no node with id {node_id}") from None
+        self._notify_liveness(node_id, "remove")
+        return node
 
     def node(self, node_id: int) -> PeerNode:
         try:
@@ -153,17 +168,45 @@ class Network:
 
         self.simulator.schedule(delay, _deliver)
 
+    # -- liveness transitions ---------------------------------------------------
+
+    def subscribe_liveness(self, listener: Callable[[int, str], None]) -> None:
+        """Register ``listener(node_id, change)`` for liveness transitions.
+
+        ``change`` is ``"fail"``, ``"recover"`` or ``"remove"``.  Only
+        transitions applied through the network notify; this is the
+        contract :class:`repro.maint.RepairEngine` builds its dirty set
+        on (see DESIGN.md, "Fault tolerance").
+        """
+        self._liveness_listeners.append(listener)
+
+    def _notify_liveness(self, node_id: int, change: str) -> None:
+        for cb in self._liveness_listeners:
+            cb(node_id, change)
+
+    def fail_node(self, node_id: int) -> bool:
+        """Mark one node dead; True if the transition actually happened."""
+        node = self._nodes.get(node_id)
+        if node is None or not node.alive:
+            return False
+        node.fail()
+        self._notify_liveness(node_id, "fail")
+        return True
+
+    def recover_node(self, node_id: int) -> bool:
+        """Bring a failed node back (its stored state resurfaces with it)."""
+        node = self._nodes.get(node_id)
+        if node is None or node.alive:
+            return False
+        node.recover()
+        self._notify_liveness(node_id, "recover")
+        return True
+
     # -- bulk helpers ----------------------------------------------------------
 
     def fail_nodes(self, node_ids: Iterable[int]) -> int:
         """Mark nodes dead; returns how many transitions actually happened."""
-        flipped = 0
-        for nid in node_ids:
-            node = self._nodes.get(nid)
-            if node is not None and node.alive:
-                node.fail()
-                flipped += 1
-        return flipped
+        return sum(1 for nid in node_ids if self.fail_node(nid))
 
     def total_items(self, include_dead: bool = False) -> int:
         """Total item bodies stored across (alive) nodes."""

@@ -20,6 +20,7 @@ from typing import Optional
 import networkx as nx
 import numpy as np
 
+from ..obs import NULL_OBS, Observability
 from ..overlay.idspace import KeySpace
 from ..sim.metrics import MetricSink
 
@@ -49,6 +50,7 @@ class FreenetOverlay:
         cache_size: int = 64,
         rng: np.random.Generator,
         sink: Optional[MetricSink] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if n_nodes < 2:
             raise ValueError(f"need >= 2 nodes, got {n_nodes}")
@@ -59,6 +61,7 @@ class FreenetOverlay:
         seed = int(rng.integers(0, 2**31 - 1))
         self.graph = nx.random_regular_graph(degree, n_nodes, seed=seed)
         self.sink = sink if sink is not None else MetricSink()
+        self.obs = obs if obs is not None else NULL_OBS
         #: Each node's specialization key — initially random, drifts
         #: toward the keys it successfully serves.
         self.specialization: dict[int, int] = {
@@ -138,6 +141,20 @@ class FreenetOverlay:
 
         dfs(origin, ttl, 0)
         result.path = list(path)
+        if self.obs.enabled:
+            # Same reserved event kind as the Gnutella flood: one summary
+            # event per unstructured search (OBSERVABILITY.md).
+            self.obs.metrics.counter("flood.searches")
+            self.obs.metrics.counter("flood.messages", result.messages)
+            self.obs.tracer.event(
+                "flood",
+                mode="dfs",
+                origin=origin,
+                depth=result.depth_reached,
+                messages=result.messages,
+                reached=len(visited),
+                found=int(result.found),
+            )
         if result.found and cache_on_return:
             item_id = self._stores[result.holder][key]
             for node in path[:-1]:

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 import networkx as nx
 import numpy as np
 
+from ..obs import NULL_OBS, Observability
 from ..sim.metrics import MetricSink
 from ..vsm.sparse import SparseVector
 
@@ -52,6 +53,7 @@ class GnutellaOverlay:
         degree: int = 4,
         rng: np.random.Generator,
         sink: Optional[MetricSink] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if n_nodes < 2:
             raise ValueError(f"need >= 2 nodes, got {n_nodes}")
@@ -66,6 +68,7 @@ class GnutellaOverlay:
         seed = int(rng.integers(0, 2**31 - 1))
         self.graph = nx.random_regular_graph(degree, n_nodes, seed=seed)
         self.sink = sink if sink is not None else MetricSink()
+        self.obs = obs if obs is not None else NULL_OBS
         # node -> item_id -> keyword id array
         self._stores: dict[int, dict[int, np.ndarray]] = {i: {} for i in range(n_nodes)}
         # node -> keyword -> item ids (local inverted index)
@@ -151,6 +154,20 @@ class GnutellaOverlay:
                         result.found.append((item, nb))
             frontier = next_frontier
         result.nodes_reached = len(visited)
+        if self.obs.enabled:
+            # The reserved unstructured-search event kind (OBSERVABILITY.md):
+            # one summary event per flood, not one per message.
+            self.obs.metrics.counter("flood.searches")
+            self.obs.metrics.counter("flood.messages", result.messages)
+            self.obs.tracer.event(
+                "flood",
+                mode="bfs",
+                origin=origin,
+                depth=depth,
+                messages=result.messages,
+                reached=result.nodes_reached,
+                found=len(result.found),
+            )
         return result
 
     def flood_for_vector(

@@ -1,0 +1,164 @@
+"""Declarative churn scenarios: each shape does what it says on the tin."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maint import (
+    BUILTIN_SCENARIOS,
+    BatchKill,
+    FlappingNodes,
+    PoissonChurn,
+    RegionFailure,
+    install_scenarios,
+    make_scenario,
+    run_scenarios,
+)
+
+
+
+@pytest.fixture()
+def system(build_replicated, tiny_trace):
+    return build_replicated(trace=tiny_trace, n_nodes=100, seed=21)
+
+
+class TestBatchKill:
+    def test_kills_requested_fraction_at_time(self, system):
+        alive_before = system.network.alive_count()
+        stats = run_scenarios(
+            system,
+            [BatchKill(fraction=0.4, at=5.0)],
+            np.random.default_rng(1),
+            horizon=10.0,
+        )
+        assert stats.failed == round(alive_before * 0.4)
+        assert system.network.alive_count() == alive_before - stats.failed
+
+    def test_nothing_happens_before_fire_time(self, system):
+        alive_before = system.network.alive_count()
+        install_scenarios(
+            system, [BatchKill(fraction=0.4, at=5.0)], np.random.default_rng(1)
+        )
+        system.network.simulator.run(until=4.0)
+        assert system.network.alive_count() == alive_before
+
+    def test_spare_nodes_survive(self, system):
+        spare = set(list(system.network.alive_ids())[:5])
+        run_scenarios(
+            system,
+            [BatchKill(fraction=0.9)],
+            np.random.default_rng(1),
+            horizon=1.0,
+            spare=spare,
+        )
+        assert all(system.network.is_alive(nid) for nid in spare)
+
+
+class TestPoissonChurn:
+    def test_departures_accumulate_over_horizon(self, system):
+        stats = run_scenarios(
+            system,
+            [PoissonChurn(depart_rate=2.0)],
+            np.random.default_rng(2),
+            horizon=20.0,
+        )
+        assert stats.failed > 10
+
+    def test_stop_bounds_the_process(self, system):
+        stats = run_scenarios(
+            system,
+            [PoissonChurn(depart_rate=5.0, stop=2.0)],
+            np.random.default_rng(2),
+            horizon=50.0,
+        )
+        # ~10 expected by t=2; far fewer than the ~250 an unbounded
+        # process would attempt over the full horizon.
+        assert 0 < stats.failed < 40
+
+
+class TestFlappingNodes:
+    def test_flaps_fail_and_recover(self, system):
+        stats = run_scenarios(
+            system,
+            [FlappingNodes(count=5, period=10.0)],
+            np.random.default_rng(3),
+            horizon=35.0,
+        )
+        assert stats.failed > 5  # each victim flapped more than once
+        assert stats.recovered > 0
+        assert stats.failed - stats.recovered <= 5  # at most all victims down
+
+    def test_same_seed_same_victims(self, build_replicated, tiny_trace):
+        outcomes = []
+        for _ in range(2):
+            sys_ = build_replicated(trace=tiny_trace, n_nodes=100, seed=21)
+            run_scenarios(
+                sys_,
+                [FlappingNodes(count=4, period=8.0, stop=20.0)],
+                np.random.default_rng(77),
+                horizon=30.0,
+            )
+            dead = set(sys_.network.node_ids()) - set(sys_.network.alive_ids())
+            outcomes.append(sorted(dead))
+        assert outcomes[0] == outcomes[1]
+
+    def test_bad_down_for_rejected(self, system):
+        with pytest.raises(ValueError):
+            run_scenarios(
+                system,
+                [FlappingNodes(period=10.0, down_for=10.0)],
+                np.random.default_rng(3),
+                horizon=1.0,
+            )
+
+
+class TestRegionFailure:
+    def test_kills_exactly_the_interval(self, system):
+        m = system.space.modulus
+        center = m // 2
+        stats = run_scenarios(
+            system,
+            [RegionFailure(span=0.2, center=center)],
+            np.random.default_rng(4),
+            horizon=1.0,
+        )
+        half = 0.2 * m / 2.0
+        for nid in system.network.node_ids():
+            d = abs(nid - center) % m
+            in_region = min(d, m - d) <= half
+            assert system.network.is_alive(nid) == (not in_region)
+        assert stats.failed > 0
+
+    def test_bad_span_rejected(self, system):
+        with pytest.raises(ValueError):
+            run_scenarios(
+                system, [RegionFailure(span=0.0)], np.random.default_rng(4), horizon=1.0
+            )
+
+
+class TestDriving:
+    def test_simulator_required(self, build_system_fn, tiny_trace):
+        system = build_system_fn(tiny_trace)  # no simulator attached
+        with pytest.raises(RuntimeError):
+            install_scenarios(system, [BatchKill()], np.random.default_rng(0))
+
+    def test_stats_shared_across_scenarios(self, system):
+        stats = run_scenarios(
+            system,
+            [BatchKill(fraction=0.1, at=0.0), BatchKill(fraction=0.1, at=5.0)],
+            np.random.default_rng(6),
+            horizon=10.0,
+        )
+        assert stats.failed > 0
+        assert stats.as_dict()["failed"] == stats.failed
+
+    def test_make_scenario_builds_builtins(self):
+        s = make_scenario("batch-kill", fraction=0.25)
+        assert isinstance(s, BatchKill)
+        assert s.fraction == 0.25
+        assert set(BUILTIN_SCENARIOS) == {"batch-kill", "poisson", "flapping", "region"}
+
+    def test_make_scenario_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            make_scenario("meteor-strike")

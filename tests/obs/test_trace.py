@@ -191,3 +191,93 @@ class TestNullTraceBus:
         a = NULL_TRACER.span("route")
         b = NULL_TRACER.event("hop")
         assert a is b
+
+
+class TestSampling:
+    def test_default_records_everything(self, bus):
+        for i in range(5):
+            with bus.span("publish", n=i):
+                pass
+        assert len(bus.roots) == 5
+
+    def test_every_kth_root_kept(self, clock):
+        bus = TraceBus(clock=clock, sample_every=3)
+        for i in range(9):
+            with bus.span("publish", n=i):
+                bus.event("hop", step=i)
+        assert [r.attrs["n"] for r in bus.roots] == [0, 3, 6]
+        # Kept roots carry their full subtree.
+        assert all(len(r.children) == 1 for r in bus.roots)
+
+    def test_unsampled_kinds_unaffected(self, clock):
+        bus = TraceBus(clock=clock, sample_every=4)
+        for i in range(6):
+            with bus.span("retrieve", n=i):
+                pass
+        assert len(bus.roots) == 6
+
+    def test_sampling_is_per_kind(self, clock):
+        bus = TraceBus(
+            clock=clock,
+            sample_every=2,
+            sample_kinds=frozenset({"publish", "publish_batch"}),
+        )
+        for i in range(4):
+            with bus.span("publish", n=i):
+                pass
+            with bus.span("publish_batch", n=i):
+                pass
+        kept = [(r.kind, r.attrs["n"]) for r in bus.roots]
+        assert kept == [
+            ("publish", 0),
+            ("publish_batch", 0),
+            ("publish", 2),
+            ("publish_batch", 2),
+        ]
+
+    def test_muted_subtree_drops_children_and_events(self, clock):
+        bus = TraceBus(clock=clock, sample_every=2)
+        with bus.span("publish", n=0):
+            pass
+        with bus.span("publish", n=1):  # sampled out
+            with bus.span("route"):
+                bus.event("hop")
+        with bus.span("publish", n=2):
+            bus.event("displace")
+        assert [r.attrs["n"] for r in bus.roots] == [0, 2]
+        # Nothing leaked from the dropped tree; the kept one is intact.
+        assert bus.find("hop") == []
+        assert len(bus.find("displace")) == 1
+        assert bus.depth == 0
+
+    def test_nested_spans_of_sampled_kind_not_thinned(self, clock):
+        """Sampling applies at the root only: a publish nested under a
+        kept root records normally."""
+        bus = TraceBus(clock=clock, sample_every=2)
+        with bus.span("retrieve"):
+            for i in range(3):
+                with bus.span("publish", n=i):
+                    pass
+        assert len(bus.roots[0].children) == 3
+
+    def test_muted_span_set_is_chainable_noop(self, clock):
+        bus = TraceBus(clock=clock, sample_every=2)
+        with bus.span("publish"):
+            pass
+        with bus.span("publish") as muted:
+            assert muted.set(x=1) is muted
+        assert bus.depth == 0
+
+    def test_clear_resets_sampling_state(self, clock):
+        bus = TraceBus(clock=clock, sample_every=2)
+        with bus.span("publish", n=0):
+            pass
+        bus.clear()
+        with bus.span("publish", n=1):
+            pass
+        # Post-clear the round-robin restarts: the first root is kept.
+        assert [r.attrs["n"] for r in bus.roots] == [1]
+
+    def test_bad_sample_every_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBus(sample_every=0)

@@ -83,3 +83,46 @@ class TestObservabilityVerbs:
         assert main(["bench", "--scale", "0.02", "--repeats", "1",
                      "--against", str(fast)]) == 1
         assert "regression" in capsys.readouterr().out
+
+
+class TestFaultsVerb:
+    def test_parses_with_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.scenario == "poisson"
+        assert args.check is None
+
+    def test_batch_kill_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--scenario", "batch-kill",
+                    "--nodes", "80",
+                    "--items", "200",
+                    "--queries", "40",
+                    "--fraction", "0.3",
+                    "--horizon", "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "incremental ticks" in out
+
+    def test_check_failure_returns_nonzero(self, capsys):
+        rc = main(
+            [
+                "faults",
+                "--scenario", "batch-kill",
+                "--nodes", "60",
+                "--items", "150",
+                "--queries", "30",
+                "--fraction", "0.9",
+                "--no-retry",
+                "--full-scan",
+                "--check", "1.01",  # unsatisfiable threshold
+            ]
+        )
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().err

@@ -78,3 +78,41 @@ class TestCliOut:
         assert (tmp_path / "table1.csv").exists()
         assert (tmp_path / "manifest.json").exists()
         assert "results written" in capsys.readouterr().out
+
+
+class TestWriteSpans:
+    def _bus(self):
+        from repro.obs.trace import TraceBus
+
+        bus = TraceBus(clock=lambda: 0.0)
+        with bus.span("publish", item=3):
+            bus.event("hop", src=1, dst=2)
+        return bus
+
+    def test_span_export_round_trips(self, tmp_path):
+        from repro.io import write_spans
+
+        path = write_spans(self._bus(), tmp_path, "fig7")
+        assert path.name == "fig7.spans.json"
+        payload = json.loads(path.read_text())
+        assert payload["roots"] == 1
+        root = payload["spans"][0]
+        assert root["kind"] == "publish"
+        assert root["attrs"] == {"item": 3}
+        assert root["children"][0]["kind"] == "hop"
+
+    def test_null_tracer_exports_empty(self, tmp_path):
+        from repro.io import write_spans
+        from repro.obs.trace import NULL_TRACER
+
+        payload = json.loads(write_spans(NULL_TRACER, tmp_path).read_text())
+        assert payload == {"roots": 0, "spans": []}
+
+    def test_trace_cli_out_writes_spans(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "--out", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.spans.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["roots"] > 0

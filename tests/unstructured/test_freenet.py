@@ -97,3 +97,22 @@ class TestSearch:
         before = ov.sink.count("dfs")
         res = ov.search(0, 300, ttl=30)
         assert ov.sink.count("dfs") - before == res.messages
+
+
+class TestFloodEvent:
+    def test_search_emits_reserved_event_and_counters(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        ov = FreenetOverlay(
+            30, SPACE, rng=np.random.default_rng(1), obs=obs
+        )
+        ov.store(25, key=500, item_id=1)
+        result = ov.search(0, 500, ttl=40)
+        events = obs.tracer.find("flood")
+        assert len(events) == 1
+        assert events[0].attrs["mode"] == "dfs"
+        assert events[0].attrs["messages"] == result.messages
+        assert events[0].attrs["found"] == int(result.found)
+        assert obs.metrics.counters["flood.searches"] == 1
+        assert obs.metrics.counters["flood.messages"] == result.messages

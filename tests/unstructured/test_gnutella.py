@@ -110,3 +110,25 @@ class TestFlood:
         q = SparseVector.from_mapping({7: 1.0}, 100)
         res = ov.flood_for_vector(0, q)
         assert len(res.found) == 30
+
+
+class TestFloodEvent:
+    def test_flood_emits_reserved_event_and_counters(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        ov = GnutellaOverlay(30, rng=np.random.default_rng(1), obs=obs)
+        ov.publish(5, 1, [10])
+        result = ov.flood(0, [10])
+        events = obs.tracer.find("flood")
+        assert len(events) == 1
+        assert events[0].attrs["mode"] == "bfs"
+        assert events[0].attrs["messages"] == result.messages
+        assert events[0].attrs["reached"] == result.nodes_reached
+        assert obs.metrics.counters["flood.searches"] == 1
+        assert obs.metrics.counters["flood.messages"] == result.messages
+
+    def test_no_obs_no_emission(self):
+        ov = make()
+        ov.flood(0, [10])
+        assert ov.obs.enabled is False
