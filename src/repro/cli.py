@@ -168,6 +168,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --check: also fail if the run took longer than this",
     )
 
+    overload = sub.add_parser(
+        "overload",
+        help="replay a seeded Zipf query storm against protected and "
+        "unprotected builds; report shed rate / recall / availability",
+    )
+    overload.add_argument("--nodes", type=int, default=400, help="overlay size")
+    overload.add_argument("--items", type=int, default=6000, help="published items")
+    overload.add_argument(
+        "--queries", type=int, default=300, help="storm query count"
+    )
+    overload.add_argument(
+        "--skew", type=float, default=1.2, help="Zipf exponent of the storm"
+    )
+    overload.add_argument(
+        "--top-keywords",
+        type=int,
+        default=12,
+        help="popular-keyword pool the storm draws from",
+    )
+    overload.add_argument(
+        "--amount", type=int, default=24, help="items requested per query"
+    )
+    overload.add_argument(
+        "--service-rate",
+        type=float,
+        default=None,
+        help="per-node drain rate as a fraction of global traffic "
+        "(default: the experiment's storm policy)",
+    )
+    overload.add_argument(
+        "--queue-cap",
+        type=int,
+        default=None,
+        help="per-node inbox burst bound (default: storm policy)",
+    )
+    overload.add_argument("--seed", type=int, default=417, help="run RNG seed")
+    overload.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the protected cell keeps shed rate "
+        "<= --max-shed, availability >= --min-avail, and inbox depth "
+        "bounded by the queue cap (CI smoke)",
+    )
+    overload.add_argument(
+        "--max-shed",
+        type=float,
+        default=0.35,
+        help="with --check: maximum tolerated shed rate (default 0.35)",
+    )
+    overload.add_argument(
+        "--min-avail",
+        type=float,
+        default=0.9,
+        help="with --check: minimum availability vs the unprotected "
+        "baseline (default 0.9)",
+    )
+    overload.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="with --check: also fail if the run took longer than this",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="time the micro-kernels; write or compare BENCH_*.json snapshots",
@@ -224,11 +287,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(format_table(rs))
             print(f"[{name} finished in {rs.elapsed_s:.2f}s]\n")
         if args.out is not None:
-            from .io import write_manifest, write_rowset
+            from .io import update_manifest, write_rowset
 
             for name, rs in done.items():
                 write_rowset(rs, args.out, name)
-            manifest = write_manifest(args.out, done)
+            manifest = update_manifest(args.out, done)
             print(f"results written to {manifest.parent}/")
         return 0
     if args.command == "trace":
@@ -237,6 +300,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "overload":
+        return _cmd_overload(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
@@ -423,6 +488,73 @@ def _cmd_faults(args) -> int:
             print("faults --check FAILED: " + "; ".join(failed), file=sys.stderr)
             return 1
         print("faults --check OK")
+    return 0
+
+
+def _cmd_overload(args) -> int:
+    import time
+    from dataclasses import replace
+
+    from .experiments.overload import STORM_POLICY, storm_cell
+    from .workload import WorldCupParams, generate_trace
+
+    t0 = time.perf_counter()
+    trace = generate_trace(
+        WorldCupParams(
+            n_items=args.items, n_keywords=max(100, args.items // 5)
+        ),
+        seed=args.seed,
+    )
+    pol = STORM_POLICY
+    if args.service_rate is not None:
+        pol = replace(pol, service_rate=args.service_rate)
+    if args.queue_cap is not None:
+        pol = replace(pol, queue_cap=args.queue_cap)
+    cell = dict(
+        n_nodes=args.nodes,
+        queries=args.queries,
+        skew=args.skew,
+        amount=args.amount,
+        top_keywords=args.top_keywords,
+        seed=args.seed,
+    )
+    off = storm_cell(trace, policy=None, monitor_rate=pol.service_rate, **cell)
+    on = storm_cell(trace, policy=pol, baseline_sets=off["result_sets"], **cell)
+    elapsed = time.perf_counter() - t0
+    print(
+        f"[overload] nodes {args.nodes}, items {args.items}, "
+        f"{args.queries} queries ~ Zipf({args.skew:g}) over top "
+        f"{args.top_keywords} keywords"
+    )
+    print(f"unprotected: max inbox depth {off['max_inbox']}")
+    print(
+        f"protected:   max inbox depth {on['max_inbox']} "
+        f"(cap {pol.queue_cap}, rate {pol.service_rate:g}), "
+        f"shed rate {on['shed_rate']:.3f}, recall {on['recall']:.3f}, "
+        f"availability {on['availability']:.3f}"
+    )
+    print(
+        f"degradation: {on['degraded']} diverted queries, "
+        f"{on['breaker_transitions']} breaker transitions, in {elapsed:.2f}s"
+    )
+    if args.check:
+        failed = []
+        if on["shed_rate"] > args.max_shed:
+            failed.append(f"shed rate {on['shed_rate']:.3f} > {args.max_shed}")
+        if on["availability"] < args.min_avail:
+            failed.append(
+                f"availability {on['availability']:.3f} < {args.min_avail}"
+            )
+        if on["max_inbox"] > pol.queue_cap:
+            failed.append(
+                f"inbox depth {on['max_inbox']} > queue cap {pol.queue_cap}"
+            )
+        if args.max_seconds is not None and elapsed > args.max_seconds:
+            failed.append(f"runtime {elapsed:.2f}s > {args.max_seconds}s")
+        if failed:
+            print("overload --check FAILED: " + "; ".join(failed), file=sys.stderr)
+            return 1
+        print("overload --check OK")
     return 0
 
 

@@ -60,6 +60,7 @@ from .search import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..maint.retry import RetryPolicy
     from ..overlay.base import RouteResult
+    from ..overload.admission import OverloadPolicy
 
 __all__ = ["PlacementScheme", "MeteorographConfig", "NodeState", "Meteorograph"]
 
@@ -116,6 +117,15 @@ class MeteorographConfig:
     #: exponential backoff, deterministic jitter, nearest-live-neighbor
     #: degradation).  None (default) = plain single-attempt routing.
     retry_policy: Optional["RetryPolicy"] = None
+    #: Overload protection: when set, :meth:`Meteorograph.build` attaches
+    #: an :class:`repro.overload.AdmissionController` to the fabric —
+    #: every send meters the destination's inbox (token-bucket service
+    #: model), saturated homes shed publish/retrieve load with
+    #: back-pressure, per-destination circuit breakers stop the
+    #: hammering, and shed deliveries divert to key neighbors (see
+    #: :mod:`repro.overload` and DESIGN.md, "Overload protection").
+    #: None (default) = no admission control, zero hot-path cost.
+    overload_policy: Optional["OverloadPolicy"] = None
 
 
 class NodeState:
@@ -256,6 +266,10 @@ class Meteorograph:
         if obs.enabled and simulator is not None and simulator.profiler is None:
             SimProfiler(obs.metrics).attach(simulator)
         network = Network(sink=sink, simulator=simulator, obs=obs)
+        if cfg.overload_policy is not None:
+            from ..overload.admission import AdmissionController
+
+            network.attach_admission(AdmissionController(cfg.overload_policy, obs=obs))
         if cfg.overlay_kind == "tornado":
             overlay: Overlay = TornadoOverlay(
                 sp, network, digit_bits=cfg.digit_bits, leaf_set_size=cfg.leaf_set_size
@@ -422,8 +436,16 @@ class Meteorograph:
         through.  Without a configured ``retry_policy`` this is exactly
         ``overlay.route``; with one, delivery retries with backoff and
         degrades to the nearest live key-neighbor (see
-        :mod:`repro.maint.retry`).
+        :mod:`repro.maint.retry`).  With an admission controller
+        attached, delivery additionally consults the destination's
+        circuit breaker and may raise
+        :class:`repro.overload.BackpressureError` — callers divert (see
+        :mod:`repro.overload.degrade`).
         """
+        if self.network.admission is not None:
+            from ..overload.degrade import deliver_guarded
+
+            return deliver_guarded(self, origin, key, kind=kind)
         if self.config.retry_policy is None:
             return self.overlay.route(origin, key, kind=kind)
         from ..maint.retry import route_with_retry

@@ -32,6 +32,8 @@ from typing import TYPE_CHECKING, Optional, Sequence
 import numpy as np
 
 from ..overlay.idspace import KeySpace
+from ..overload.admission import BackpressureError
+from ..overload.degrade import divert_publish
 from ..sim.node import StoredItem
 from ..vsm.sparse import SparseVector
 
@@ -196,27 +198,47 @@ def publish_item(
     )
     obs = system.network.obs
     with obs.tracer.span("publish", item=item_id, key=publish_key) as sp:
-        route = system.deliver_home(origin, publish_key, kind="publish")
-        assert route.home is not None
+        level = 0
+        try:
+            route = system.deliver_home(origin, publish_key, kind="publish")
+            assert route.home is not None
+            home, route_hops = route.home, route.hops
+        except BackpressureError:
+            # The home shed the publish: back off through the retry
+            # discipline, then place on the nearest admitting
+            # key-neighbor; only a fully-shed publish is reported as a
+            # failure (the "inform the application" branch of Fig. 2).
+            home, route_hops, level = divert_publish(system, origin, publish_key)
+            if home is None:
+                sp.set(ok=False, shed=True)
+                return PublishResult(
+                    item_id=item_id,
+                    home=system.overlay.home(publish_key),
+                    route_hops=route_hops,
+                    dropped_item_id=item_id,
+                    success=False,
+                )
         with obs.metrics.timer("publish.displace_chain"):
             result = run_displacement_chain(
                 system,
-                route.home,
+                home,
                 item,
                 hop_budget=hop_budget,
                 policy=policy,
             )
-        result.route_hops = route.hops
+        result.route_hops = route_hops
         if system.config.directory_pointers:
-            system.publish_pointer(route.home, item)
+            system.publish_pointer(home, item)
         if system.replication is not None and result.success:
-            system.replication.replicate(route.home, item)
+            system.replication.replicate(home, item)
         sp.set(
             home=result.home,
-            route_hops=route.hops,
+            route_hops=route_hops,
             displacement_hops=result.displacement_hops,
             ok=result.success,
         )
+        if level:
+            sp.set(degraded=level)
     return result
 
 
@@ -301,8 +323,19 @@ def batch_publish(
     tracer = obs.tracer
     results: list[Optional[PublishResult]] = [None] * n
     with tracer.span("publish_batch", items=n) as sp:
-        route = system.deliver_home(origin, int(keys[order[0]]), kind="publish")
-        assert route.home is not None
+        first_key = int(keys[order[0]])
+        try:
+            route = system.deliver_home(origin, first_key, kind="publish")
+            assert route.home is not None
+            start_home, start_hops = route.home, route.hops
+        except BackpressureError:
+            # The sweep's entry home shed the route.  The sweep itself
+            # delivers node-locally, so just start it at the live home
+            # directly (the route messages already spent are billed).
+            start_home = system.overlay.live_home(first_key)
+            start_hops = 0
+            if start_home is None:
+                raise RuntimeError("no live nodes to publish to") from None
         # Ring sweep: advance clockwise over live nodes, charging one
         # publish message per step; record each item's marginal cost.
         # Because items are visited in key order the per-item step counts
@@ -314,7 +347,7 @@ def batch_publish(
         send = network.send
         m = len(live)
         pos_sorted = np.searchsorted(live_sorted, homes[order])
-        cur = int(np.searchsorted(live_sorted, route.home))
+        cur = int(np.searchsorted(live_sorted, start_home))
         prev = np.empty_like(pos_sorted)
         prev[0] = cur
         prev[1:] = pos_sorted[:-1]
@@ -325,9 +358,15 @@ def batch_publish(
         route_hops = route_hops_arr.tolist()
         for _ in range(sweep):
             nxt = (cur + 1) % m
-            send(live[cur], live[nxt], kind="publish")
+            try:
+                send(live[cur], live[nxt], kind="publish")
+            except BackpressureError:
+                # A saturated node along the sweep shed the step message;
+                # the sweep continues past it (placement is node-local,
+                # the per-step message was already billed by the meter).
+                pass
             cur = nxt
-        route_hops[order_l[0]] += route.hops
+        route_hops[order_l[0]] += start_hops
         displacement_free = all(
             network.node(nid).capacity is None for nid in live
         )
@@ -370,7 +409,7 @@ def batch_publish(
                 res.route_hops = route_hops[k]
                 results[k] = res
         sp.set(
-            route_hops=route.hops,
+            route_hops=start_hops,
             sweep_hops=sweep,
             failed=sum(1 for r in results if r is not None and not r.success),
         )

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Literal, Optional, Sequence
 
+from ..overload.admission import BackpressureError
+from ..overload.degrade import divert_home
 from ..vsm.sparse import SparseVector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -55,6 +57,16 @@ class RetrieveResult:
     #: True when the request was fully satisfied (amount reached, or the
     #: walk ended by patience/exhaustion for unbounded requests).
     complete: bool = True
+    #: 0 = served from the nominal home.  k > 0 = the home shed the
+    #: query under back-pressure and the result was harvested from the
+    #: k-th home-preference neighbor instead — a *partial ranked* result
+    #: over the next-most-similar band (DESIGN.md, "Overload
+    #: protection": the degradation contract).
+    degradation_level: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation_level > 0
 
     @property
     def messages(self) -> int:
@@ -78,6 +90,9 @@ class FindResult:
     total_hops: int  # route + neighbor walk to the item ("Neighbors")
     messages: int
     node_id: Optional[int] = None
+    #: True when the lookup was served through back-pressure diversion
+    #: (or fully shed, in which case ``found`` is False too).
+    degraded: bool = False
 
 
 def _walk_order(
@@ -143,9 +158,26 @@ def retrieve(
     # close the span on the way out, or the trace tree is left with an
     # unfinished frame (matching publish_item / find_item).
     with obs.tracer.span("retrieve", key=key, origin=origin, amount=amount) as sp:
-        route = system.deliver_home(origin, key, kind="retrieve")
-        assert route.home is not None
-        result = RetrieveResult(route_hops=route.hops)
+        degradation = 0
+        try:
+            route = system.deliver_home(origin, key, kind="retrieve")
+            assert route.home is not None
+            home, route_hops = route.home, route.hops
+        except BackpressureError as exc:
+            # The home (or its breaker) shed the query: degrade to the
+            # nearest admitting key-neighbor, which by §3.3 clustering
+            # holds the next-most-similar band.
+            home, route_hops, degradation = divert_home(
+                system, key, kind="retrieve", origin=origin, exclude=(exc.node_id,)
+            )
+            if home is None:
+                sp.set(found=0, shed=True)
+                return RetrieveResult(
+                    route_hops=route_hops,
+                    complete=False,
+                    degradation_level=degradation,
+                )
+        result = RetrieveResult(route_hops=route_hops, degradation_level=degradation)
         seen_items: set[int] = set()
 
         def harvest(node_id: int, hops_here: int) -> int:
@@ -167,14 +199,14 @@ def retrieve(
                 result.reply_messages += 1
             return fresh
 
-        result.visited.append(route.home)
-        harvest(route.home, route.hops)
+        result.visited.append(home)
+        harvest(home, route_hops)
         dry = 0
         walked = 0
-        current = route.home
+        current = home
         tracer = obs.tracer
         with obs.metrics.timer("kernel.walk"):
-            for neighbor in _walk_order(system, route.home, direction):
+            for neighbor in _walk_order(system, home, direction):
                 if amount is not None and len(result.discoveries) >= amount:
                     break
                 if max_walk is not None and walked >= max_walk:
@@ -182,24 +214,35 @@ def retrieve(
                     break
                 if amount is None and dry >= patience:
                     break
-                system.network.send(current, neighbor, kind="retrieve")
+                try:
+                    system.network.send(current, neighbor, kind="retrieve")
+                except BackpressureError:
+                    # A saturated neighbor sheds its consult: the message
+                    # was spent, the node contributed nothing — skip it
+                    # and keep sweeping from the current position.
+                    walked += 1
+                    result.walk_hops += 1
+                    dry += 1
+                    continue
                 current = neighbor
                 walked += 1
                 result.walk_hops += 1
                 result.visited.append(neighbor)
-                fresh = harvest(neighbor, route.hops + walked)
+                fresh = harvest(neighbor, route_hops + walked)
                 if tracer.enabled:
                     tracer.event("walk", node=neighbor, fresh=fresh)
                 dry = 0 if fresh else dry + 1
         if amount is not None and len(result.discoveries) < amount:
             result.complete = False
         sp.set(
-            home=route.home,
-            route_hops=route.hops,
+            home=home,
+            route_hops=route_hops,
             walk_hops=result.walk_hops,
             found=result.found,
             complete=result.complete,
         )
+        if degradation:
+            sp.set(degraded=degradation)
     return result
 
 
@@ -222,27 +265,49 @@ def find_item(
     obs = system.network.obs
     tracer = obs.tracer
     with tracer.span("find", item=item_id, key=publish_key, origin=origin) as sp:
-        route = system.deliver_home(origin, publish_key, kind="retrieve")
-        assert route.home is not None
-        messages = route.hops
+        degraded = False
+        try:
+            route = system.deliver_home(origin, publish_key, kind="retrieve")
+            assert route.home is not None
+            home, route_hops = route.home, route.hops
+        except BackpressureError as exc:
+            degraded = True
+            home, route_hops, _ = divert_home(
+                system, publish_key, kind="retrieve", origin=origin,
+                exclude=(exc.node_id,),
+            )
+            if home is None:
+                sp.set(found=False, shed=True)
+                return FindResult(
+                    item_id, False, route_hops, route_hops, route_hops,
+                    None, degraded=True,
+                )
+        messages = route_hops
 
         def holds(node_id: int) -> bool:
             return system.network.node(node_id).has_item(item_id)
 
-        if holds(route.home):
-            sp.set(found=True, closest_hops=route.hops, total_hops=route.hops)
+        if holds(home):
+            sp.set(found=True, closest_hops=route_hops, total_hops=route_hops)
             return FindResult(
-                item_id, True, route.hops, route.hops, messages, route.home
+                item_id, True, route_hops, route_hops, messages, home,
+                degraded=degraded,
             )
         walked = 0
-        current = route.home
+        current = home
         with obs.metrics.timer("kernel.walk"):
             for neighbor in system.overlay.closest_neighbors(
-                route.home, alive_only=True
+                home, alive_only=True
             ):
                 if max_walk is not None and walked >= max_walk:
                     break
-                system.network.send(current, neighbor, kind="retrieve")
+                try:
+                    system.network.send(current, neighbor, kind="retrieve")
+                except BackpressureError:
+                    # Saturated neighbor: the consult was shed; skip it.
+                    walked += 1
+                    messages += 1
+                    continue
                 current = neighbor
                 walked += 1
                 messages += 1
@@ -252,19 +317,23 @@ def find_item(
                 if hit:
                     sp.set(
                         found=True,
-                        closest_hops=route.hops,
-                        total_hops=route.hops + walked,
+                        closest_hops=route_hops,
+                        total_hops=route_hops + walked,
                     )
                     return FindResult(
                         item_id,
                         True,
-                        route.hops,
-                        route.hops + walked,
+                        route_hops,
+                        route_hops + walked,
                         messages,
                         neighbor,
+                        degraded=degraded,
                     )
-        sp.set(found=False, closest_hops=route.hops, total_hops=route.hops + walked)
-        return FindResult(item_id, False, route.hops, route.hops + walked, messages, None)
+        sp.set(found=False, closest_hops=route_hops, total_hops=route_hops + walked)
+        return FindResult(
+            item_id, False, route_hops, route_hops + walked, messages, None,
+            degraded=degraded,
+        )
 
 
 def retrieve_with_pointers(
@@ -305,10 +374,28 @@ def retrieve_with_pointers(
     with tracer.span(
         "retrieve", key=key, origin=origin, amount=amount, mode="pointers"
     ) as sp:
-        route = system.deliver_home(origin, key, kind="retrieve")
-        assert route.home is not None
-        result = RetrieveResult(route_hops=route.hops)
-        result.visited.append(route.home)
+        degradation = 0
+        try:
+            route = system.deliver_home(origin, key, kind="retrieve")
+            assert route.home is not None
+            home, route_hops = route.home, route.hops
+        except BackpressureError as exc:
+            # The pointer home shed the query: sweep the band from the
+            # nearest admitting neighbor instead (pointers of similar
+            # items aggregate across the whole band, so a shifted sweep
+            # start degrades coverage, not correctness).
+            home, route_hops, degradation = divert_home(
+                system, key, kind="retrieve", origin=origin, exclude=(exc.node_id,)
+            )
+            if home is None:
+                sp.set(found=0, shed=True)
+                return RetrieveResult(
+                    route_hops=route_hops,
+                    complete=False,
+                    degradation_level=degradation,
+                )
+        result = RetrieveResult(route_hops=route_hops, degradation_level=degradation)
+        result.visited.append(home)
 
         require = None if require_all is None else [int(k) for k in require_all]
 
@@ -332,21 +419,28 @@ def retrieve_with_pointers(
         # Stage 1: sweep the pointer band.
         pointers = []
         pointer_hop: dict[int, int] = {}
-        hits = matching_pointers(route.home)
+        hits = matching_pointers(home)
         for p in hits:
-            pointer_hop[p.item_id] = route.hops
+            pointer_hop[p.item_id] = route_hops
         pointers.extend(hits)
         dry = 0
         walked = 0
-        current = route.home
-        for neighbor in _walk_order(system, route.home, direction):
+        current = home
+        for neighbor in _walk_order(system, home, direction):
             if dry >= patience:
                 break
             if max_walk is not None and walked >= max_walk:
                 break
             if amount is not None and len(pointers) >= amount:
                 break
-            system.network.send(current, neighbor, kind="retrieve")
+            try:
+                system.network.send(current, neighbor, kind="retrieve")
+            except BackpressureError:
+                # Saturated pointer holder: its band segment is skipped.
+                walked += 1
+                result.walk_hops += 1
+                dry += 1
+                continue
             current = neighbor
             walked += 1
             result.walk_hops += 1
@@ -355,7 +449,7 @@ def retrieve_with_pointers(
             if tracer.enabled:
                 tracer.event("walk", node=neighbor, fresh=len(hits))
             for p in hits:
-                pointer_hop.setdefault(p.item_id, route.hops + walked)
+                pointer_hop.setdefault(p.item_id, route_hops + walked)
             pointers.extend(hits)
             dry = 0 if hits else dry + 1
 
@@ -364,7 +458,7 @@ def retrieve_with_pointers(
         for p in pointers:
             body_home = system.overlay.home(p.body_key)
             by_home.setdefault(body_home, []).append(p)
-        fetch_origin = route.home
+        fetch_origin = home
         seen_items: set[int] = set()
         # The displacement walk around a body home honors the caller's
         # ``max_walk`` exactly like the stage-1 sweep and ``retrieve``;
@@ -395,7 +489,14 @@ def retrieve_with_pointers(
             wanted = {p.item_id for p in by_home[body_home]}
             if tracer.enabled:
                 tracer.event("fetch", body_home=body_home, promised=len(wanted))
-            fetch = system.deliver_home(fetch_origin, body_home, kind="retrieve")
+            try:
+                fetch = system.deliver_home(fetch_origin, body_home, kind="retrieve")
+            except BackpressureError:
+                # The body holder shed the fetch: its promised items are
+                # forfeited this query — a partial result, tagged.
+                result.degradation_level = max(result.degradation_level, 1)
+                result.complete = False
+                continue
             result.fetch_hops += fetch.hops
             result.reply_messages += 1  # the k′-items reply to the pointer home
             terminal = fetch.home
@@ -403,7 +504,7 @@ def retrieve_with_pointers(
             remaining = None if amount is None else amount - len(result.discoveries)
             harvest_at(
                 terminal,
-                lambda iid: pointer_hop.get(iid, route.hops) + fetch.hops,
+                lambda iid: pointer_hop.get(iid, route_hops) + fetch.hops,
                 remaining,
             )
             # Displacement (Fig. 2) may have pushed pointer-promised bodies
@@ -421,14 +522,19 @@ def retrieve_with_pointers(
                         break
                     if amount is not None and len(result.discoveries) >= amount:
                         break
-                    system.network.send(current, neighbor, kind="retrieve")
+                    try:
+                        system.network.send(current, neighbor, kind="retrieve")
+                    except BackpressureError:
+                        walked += 1
+                        result.fetch_hops += 1
+                        continue
                     current = neighbor
                     walked += 1
                     result.fetch_hops += 1
                     depth = walked
                     fresh = harvest_at(
                         neighbor,
-                        lambda iid, d=depth: pointer_hop.get(iid, route.hops)
+                        lambda iid, d=depth: pointer_hop.get(iid, route_hops)
                         + fetch.hops
                         + d,
                         None if amount is None else amount - len(result.discoveries),
@@ -442,11 +548,13 @@ def retrieve_with_pointers(
         if amount is not None and len(result.discoveries) < amount:
             result.complete = False
         sp.set(
-            home=route.home,
-            route_hops=route.hops,
+            home=home,
+            route_hops=route_hops,
             walk_hops=result.walk_hops,
             fetch_hops=result.fetch_hops,
             found=result.found,
             complete=result.complete,
         )
+        if result.degradation_level:
+            sp.set(degraded=result.degradation_level)
     return result

@@ -22,9 +22,11 @@ from .maintenance import run_join_cost
 from .softstate_exp import run_softstate
 from .heterogeneous import run_heterogeneous, run_conjunctions
 from .queryload import run_query_load
+from .overload import run_overload, storm_cell
 
 ALL_EXPERIMENTS = {
     "queryload": run_query_load,
+    "overload": run_overload,
     "softstate": run_softstate,
     "heterogeneous": run_heterogeneous,
     "conjunctions": run_conjunctions,
@@ -80,5 +82,7 @@ __all__ = [
     "run_heterogeneous",
     "run_conjunctions",
     "run_query_load",
+    "run_overload",
+    "storm_cell",
     "ALL_EXPERIMENTS",
 ]

@@ -21,7 +21,13 @@ from typing import Mapping
 
 from .experiments.common import RowSet
 
-__all__ = ["write_rowset", "write_manifest", "read_rowset_csv", "write_spans"]
+__all__ = [
+    "write_rowset",
+    "write_manifest",
+    "update_manifest",
+    "read_rowset_csv",
+    "write_spans",
+]
 
 
 def _slug(experiment_id: str) -> str:
@@ -79,6 +85,30 @@ def write_manifest(
     }
     path = out / "manifest.json"
     path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def update_manifest(
+    out_dir: str | Path, entries: Mapping[str, RowSet]
+) -> Path:
+    """Merge ``entries`` into an existing ``manifest.json`` (or create it).
+
+    :func:`write_manifest` overwrites, which silently drops earlier
+    experiments from a results directory grown one ``run --out`` at a
+    time; this variant keeps every previously indexed experiment and
+    replaces only the ids being re-run.
+    """
+    out = Path(out_dir)
+    path = out / "manifest.json"
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (ValueError, OSError):
+            existing = {}  # corrupt manifest: rebuild from this batch
+    write_manifest(out_dir, entries)
+    merged = {**existing, **json.loads(path.read_text())}
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -25,32 +25,39 @@ the default merely records the would-be delay, keeping the count-based
 experiments re-entrancy-free.
 
 Metrics: ``maint.retries`` / ``maint.detours`` /
-``maint.delivery_failed`` counters, ``maint.backoff_delay``
-distribution, ``maint.deliver`` timer.
+``maint.delivery_failed`` / ``maint.retry_gave_up`` counters,
+``maint.backoff_delay`` distribution, ``maint.deliver`` timer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from ..overlay.base import RouteResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.meteorograph import Meteorograph
 
-__all__ = ["RetryPolicy", "route_with_retry"]
+__all__ = ["RetryPolicy", "route_with_retry", "splitmix64"]
 
 _MASK64 = (1 << 64) - 1
 
 
-def _splitmix64(x: int) -> int:
-    """One splitmix64 step — the deterministic jitter kernel."""
+def splitmix64(x: int) -> int:
+    """One splitmix64 step — the deterministic jitter kernel.
+
+    Shared with :mod:`repro.overload.breaker`, whose half-open probe
+    selection must be exactly as seed-reproducible as backoff jitter.
+    """
     x = (x + 0x9E3779B97F4A7C15) & _MASK64
     z = x
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return z ^ (z >> 31)
+
+
+_splitmix64 = splitmix64  # historical private name, kept for callers/tests
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,14 @@ class RetryPolicy:
     max_delay: float = 8.0
     jitter: float = 0.25
     seed: int = 0
+    #: Total-backoff budget across all of one delivery's retries (same
+    #: simulated-seconds unit as the delays).  A retry whose wait would
+    #: push the accumulated backoff past the budget is skipped — the
+    #: delivery degrades to the fallback immediately and
+    #: ``maint.retry_gave_up`` counts the early exit.  None = bounded
+    #: only by ``max_attempts``.  Keeps overload diverts from stalling a
+    #: query behind a full exponential ladder.
+    max_total_delay: Optional[float] = None
     #: Run the attached simulator for the backoff window, so scheduled
     #: maintenance (repair ticks, stabilize) executes between attempts.
     #: Off by default: the count-based experiments must not re-enter
@@ -85,6 +100,10 @@ class RetryPolicy:
             )
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError(f"jitter must be in [0,1], got {self.jitter}")
+        if self.max_total_delay is not None and self.max_total_delay < 0:
+            raise ValueError(
+                f"max_total_delay must be >= 0 or None, got {self.max_total_delay}"
+            )
 
     def jitter_unit(self, attempt: int, token: int = 0) -> float:
         """Deterministic uniform-ish draw in [0, 1) for one attempt."""
@@ -133,8 +152,26 @@ def route_with_retry(
     with obs.metrics.timer("maint.deliver"):
         route = system.overlay.route(origin, key, kind=kind)
         attempt = 1
+        total_delay = 0.0
         while not _delivered(system, route) and attempt < policy.max_attempts:
             d = policy.delay(attempt - 1, token=key)
+            if (
+                policy.max_total_delay is not None
+                and total_delay + d > policy.max_total_delay
+            ):
+                # Backoff budget exhausted: stop retrying and degrade
+                # straight to the fallback below.
+                if obs.enabled:
+                    obs.metrics.counter("maint.retry_gave_up")
+                    if obs.tracer.enabled:
+                        obs.tracer.event(
+                            "retry_budget",
+                            key=key,
+                            attempt=attempt,
+                            spent=round(total_delay, 4),
+                        )
+                break
+            total_delay += d
             if obs.enabled:
                 obs.metrics.counter("maint.retries")
                 obs.metrics.observe("maint.backoff_delay", d)

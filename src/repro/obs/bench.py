@@ -59,6 +59,7 @@ _LOOPS = {
     "equalizer_remap": 20,
     "tornado_route": 5,
     "leafset_cached": 50,
+    "admission_check": 50,
     "local_index_query": 50,
     "batch_publish": 1,
     "publish_per_item": 1,
@@ -82,7 +83,7 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
     from ..overlay.idspace import KeySpace
     from ..overlay.tornado import TornadoOverlay
     from ..sim.network import Network
-    from ..sim.node import StoredItem
+    from ..sim.node import PeerNode, StoredItem
     from ..vsm.index import LocalVsmIndex
     from ..vsm.sparse import SparseVector
     from ..workload import WorldCupParams, generate_trace
@@ -140,6 +141,23 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         for o in origins:
             total += len(leaf_set(o))
         return total
+
+    # Admission fast path: synchronous sends on a fabric with *no*
+    # controller attached — the per-send cost of the zero-cost-when-off
+    # contract must stay one attribute load + None check over the
+    # pre-admission fabric (the ``tornado_route`` gate guards the same
+    # contract from above, since every routing hop passes through it).
+    adm_network = Network()
+    adm_ids = list(range(16))
+    for nid in adm_ids:
+        adm_network.add_node(PeerNode(nid))
+
+    def admission_disabled_sends() -> int:
+        send = adm_network.send
+        n = len(adm_ids)
+        for i in range(64):
+            send(adm_ids[i % n], adm_ids[(i + 1) % n], kind="route")
+        return 64
 
     # Publish kernels: each timed call consumes a fresh system built by
     # ``prepare`` (publishing mutates node storage), with unbounded
@@ -220,6 +238,7 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         "equalizer_remap": lambda: eq.remap_many(keys),
         "tornado_route": route_all,
         "leafset_cached": leafset_all,
+        "admission_check": admission_disabled_sends,
         "local_index_query": lambda: idx.query(q, 20),
         "batch_publish": (prepare_publish, publish_batch),
         "publish_per_item": (prepare_publish, publish_sequential),

@@ -66,6 +66,15 @@ class Network:
         # Cached flag: send()/send_after() sit on the routing hot path,
         # so the disabled check must be a single attribute load.
         self._obs_on = self.obs.enabled
+        #: Optional :class:`repro.overload.AdmissionController`.  When
+        #: attached (see :meth:`attach_admission`), every synchronous
+        #: send meters the destination's inbox and a saturated node
+        #: sheds application traffic by raising
+        #: :class:`repro.overload.BackpressureError`; asynchronous
+        #: deliveries into a saturated inbox are dropped.  ``None``
+        #: (default) keeps the fast path at a single attribute check —
+        #: the same zero-cost-when-off contract as ``_obs_on``.
+        self.admission = None
         self._nodes: dict[int, PeerNode] = {}
         #: Liveness listeners: ``cb(node_id, change)`` with ``change`` one
         #: of ``"fail"`` / ``"recover"`` / ``"remove"``.  Fired *after*
@@ -117,12 +126,32 @@ class Network:
 
     # -- message delivery ----------------------------------------------------
 
+    def attach_admission(self, controller):
+        """Install an admission controller on the fabric; returns it.
+
+        Per-node service-rate overrides (heterogeneous capability, the
+        admission analogue of ``capacity_fn`` storage heterogeneity) are
+        seeded from every registered node whose ``service_rate``
+        attribute is set.  Nodes added later set their rates via
+        ``controller.set_rate``.  Pass ``None`` to detach.
+        """
+        self.admission = controller
+        if controller is not None:
+            for node in self._nodes.values():
+                rate = node.service_rate
+                if rate is not None:
+                    controller.set_rate(node.node_id, rate)
+        return controller
+
     def send(self, src: int, dst: int, kind: str = "route") -> PeerNode:
         """Charge one ``kind`` message from ``src`` to ``dst``.
 
         Returns the destination node.  The message is charged even when
         delivery fails (the sender spent the transmission either way),
-        then :class:`DeadNodeError` is raised.
+        then :class:`DeadNodeError` is raised — or, with an admission
+        controller attached and the destination saturated,
+        :class:`repro.overload.BackpressureError` (shed load, §DESIGN.md
+        "Overload protection").
         """
         self.sink.charge(kind)
         if self._obs_on:
@@ -131,10 +160,15 @@ class Network:
         node = self._nodes.get(dst)
         if node is None or not node.alive:
             raise DeadNodeError(f"destination {dst} is not alive (from {src})")
+        adm = self.admission
+        if adm is not None:
+            adm.arrive(dst, kind)
         return node
 
     def try_send(self, src: int, dst: int, kind: str = "route") -> Optional[PeerNode]:
-        """Like :meth:`send` but returns ``None`` instead of raising."""
+        """Like :meth:`send` but returns ``None`` instead of raising on a
+        dead destination.  Back-pressure still propagates: a shed is a
+        live node's *decision*, and callers must handle (divert) it."""
         try:
             return self.send(src, dst, kind)
         except DeadNodeError:
@@ -152,7 +186,11 @@ class Network:
 
         The message is charged at send time; ``handler`` runs at delivery
         time only if the destination is then alive (silent drop models a
-        node that failed in flight).
+        node that failed in flight).  With admission control attached,
+        the destination's inbox is metered at *delivery* time — the
+        moment the message would enter the queue — and a saturated inbox
+        drops the delivery the same silent way (``overload.async_dropped``
+        counts the drops; there is no caller left to divert for).
         """
         if self.simulator is None:
             raise RuntimeError("Network has no simulator attached")
@@ -163,8 +201,14 @@ class Network:
 
         def _deliver() -> None:
             node = self._nodes.get(dst)
-            if node is not None and node.alive:
-                handler(node)
+            if node is None or not node.alive:
+                return
+            adm = self.admission
+            if adm is not None and not adm.try_arrive(dst, kind):
+                if self._obs_on:
+                    self.obs.metrics.counter("overload.async_dropped")
+                return
+            handler(node)
 
         self.simulator.schedule(delay, _deliver)
 
@@ -205,7 +249,14 @@ class Network:
     # -- bulk helpers ----------------------------------------------------------
 
     def fail_nodes(self, node_ids: Iterable[int]) -> int:
-        """Mark nodes dead; returns how many transitions actually happened."""
+        """Mark nodes dead; returns how many transitions actually happened.
+
+        Liveness listeners fire exactly once per *transition*: ids that
+        are already dead (or unknown) are skipped by :meth:`fail_node`,
+        so repeated or overlapping kill batches never double-notify the
+        repair engine's dirty set
+        (``tests/maint/test_liveness_transitions.py`` pins this).
+        """
         return sum(1 for nid in node_ids if self.fail_node(nid))
 
     def total_items(self, include_dead: bool = False) -> int:

@@ -80,13 +80,28 @@ class PeerNode:
         (the paper's Figure 7/8 "infinite storage" configuration).
         Directory pointers do not count against capacity — the paper
         argues they are "quite small in size".
+    service_rate:
+        Optional per-node inbox service rate (fraction of global fabric
+        traffic this node can absorb sustained) — the *processing*
+        analogue of storage ``capacity`` heterogeneity.  Consumed by
+        :meth:`repro.sim.network.Network.attach_admission`, which seeds
+        the admission controller's per-node overrides from it; ``None``
+        means the controller's policy-wide default applies.
     """
 
-    def __init__(self, node_id: int, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        capacity: Optional[int] = None,
+        service_rate: Optional[float] = None,
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        if service_rate is not None and service_rate <= 0:
+            raise ValueError(f"service_rate must be > 0 or None, got {service_rate}")
         self.node_id = node_id
         self.capacity = capacity
+        self.service_rate = service_rate
         self.alive = True
         self._items: dict[int, StoredItem] = {}
         self._pointers: dict[int, DirectoryPointer] = {}

@@ -1,0 +1,104 @@
+"""Liveness notification exactness under repeated / overlapping kills.
+
+The repair engine's dirty set is driven purely by liveness listener
+callbacks, so the contract pinned here is load-bearing: every listener
+fires **once per actual transition** — never for an id that is already
+dead, unknown, or repeated within a batch.  A double notification would
+double-count repair work; a missed one would leak dead holders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.maint import make_scenario, run_scenarios
+from repro.sim.network import Network
+from repro.sim.node import PeerNode
+
+
+def make_net(n: int = 10) -> Network:
+    net = Network()
+    for i in range(n):
+        net.add_node(PeerNode(i))
+    return net
+
+
+class Recorder:
+    def __init__(self, net: Network) -> None:
+        self.events: list[tuple[int, str]] = []
+        net.subscribe_liveness(lambda nid, change: self.events.append((nid, change)))
+
+    def count(self, change: str) -> int:
+        return sum(1 for _, c in self.events if c == change)
+
+
+class TestFailNodesNotifications:
+    def test_one_notification_per_transition(self):
+        net = make_net()
+        rec = Recorder(net)
+        assert net.fail_nodes([1, 2, 3]) == 3
+        assert rec.count("fail") == 3
+
+    def test_repeated_ids_within_a_batch_notify_once(self):
+        net = make_net()
+        rec = Recorder(net)
+        assert net.fail_nodes([4, 4, 4, 5]) == 2
+        assert rec.events == [(4, "fail"), (5, "fail")]
+
+    def test_overlapping_batches_skip_already_dead(self):
+        net = make_net()
+        rec = Recorder(net)
+        assert net.fail_nodes([1, 2, 3]) == 3
+        assert net.fail_nodes([2, 3, 4]) == 1  # only 4 transitions
+        assert rec.count("fail") == 4
+        assert net.fail_nodes([1, 2, 3, 4]) == 0
+        assert rec.count("fail") == 4
+
+    def test_unknown_ids_do_not_notify(self):
+        net = make_net()
+        rec = Recorder(net)
+        assert net.fail_nodes([999, 1000]) == 0
+        assert rec.events == []
+
+    def test_return_value_always_matches_notification_count(self):
+        net = make_net(20)
+        rec = Recorder(net)
+        rng = np.random.default_rng(7)
+        total = 0
+        for _ in range(6):
+            batch = rng.integers(0, 25, size=8)  # overlaps + unknown ids
+            total += net.fail_nodes(int(b) for b in batch)
+        assert rec.count("fail") == total
+
+    def test_recover_then_fail_notifies_again(self):
+        net = make_net()
+        rec = Recorder(net)
+        net.fail_nodes([1])
+        assert net.recover_node(1)
+        assert net.fail_nodes([1, 1]) == 1
+        assert rec.events == [(1, "fail"), (1, "recover"), (1, "fail")]
+
+
+class TestScenarioLevelExactness:
+    def test_overlapping_batch_kills_notify_once_per_death(
+        self, small_trace, build_replicated
+    ):
+        system = build_replicated(small_trace, n_nodes=80)
+        fails: list[int] = []
+        system.network.subscribe_liveness(
+            lambda nid, change: change == "fail" and fails.append(nid)
+        )
+        # Three staggered kill waves over the same shrinking population:
+        # later waves can only kill survivors, so listener fail events
+        # must equal stats.failed exactly — no double counting.
+        scenarios = [
+            make_scenario("batch-kill", fraction=0.3, at=1.0),
+            make_scenario("batch-kill", fraction=0.3, at=2.0),
+            make_scenario("batch-kill", fraction=0.3, at=3.0),
+        ]
+        stats = run_scenarios(
+            system, scenarios, np.random.default_rng(23), horizon=5.0
+        )
+        assert stats.failed > 0
+        assert len(fails) == stats.failed
+        assert len(set(fails)) == len(fails)  # every death is a distinct node

@@ -65,11 +65,16 @@ class TestValidation:
             {"base_delay": -1.0},
             {"base_delay": 2.0, "max_delay": 1.0},
             {"jitter": 1.5},
+            {"max_total_delay": -0.1},
         ],
     )
     def test_bad_parameters_rejected(self, kwargs):
         with pytest.raises(ValueError):
             RetryPolicy(**kwargs)
+
+    def test_unset_budget_is_allowed(self):
+        assert RetryPolicy(max_total_delay=None).max_total_delay is None
+        assert RetryPolicy(max_total_delay=0.0).max_total_delay == 0.0
 
 
 def _degraded_system(build, tiny_trace, *, seed=47, retry=True, **extra):
@@ -157,3 +162,70 @@ class TestRouteWithRetry:
             system.deliver_home(origin, key).path
             == system.overlay.route(origin, key).path
         )
+
+
+class TestBackoffBudget:
+    """``max_total_delay`` caps the accumulated backoff, not the outcome:
+    an exhausted budget degrades straight to the live-neighbor fallback."""
+
+    def test_zero_budget_skips_every_retry(self, build_replicated, tiny_trace):
+        system = _degraded_system(
+            build_replicated,
+            tiny_trace,
+            retry=False,
+            retry_policy=RetryPolicy(seed=47, max_total_delay=0.0),
+            observability=True,
+        )
+        _probe(system, n=40)
+        counters = system.obs.metrics.counters
+        assert counters.get("maint.retries", 0) == 0
+        assert counters.get("maint.retry_gave_up", 0) > 0
+
+    def test_budget_exhaustion_still_delivers_via_fallback(
+        self, build_replicated, tiny_trace
+    ):
+        system = _degraded_system(
+            build_replicated,
+            tiny_trace,
+            retry=False,
+            retry_policy=RetryPolicy(seed=47, max_total_delay=0.0),
+        )
+        rng = np.random.default_rng(5)
+        origins = list(system.network.alive_ids())
+        for _ in range(40):
+            origin = origins[int(rng.integers(len(origins)))]
+            route = system.deliver_home(origin, system.space.random_key(rng))
+            assert route.succeeded
+            assert system.network.is_alive(route.home)
+
+    def test_generous_budget_matches_unbounded_policy(
+        self, build_replicated, tiny_trace
+    ):
+        # A budget wider than the whole exponential ladder changes nothing.
+        _, capped = _probe(
+            _degraded_system(
+                build_replicated,
+                tiny_trace,
+                retry=False,
+                retry_policy=RetryPolicy(seed=47, max_total_delay=1e9),
+            )
+        )
+        _, unbounded = _probe(_degraded_system(build_replicated, tiny_trace, retry=True))
+        assert capped == unbounded
+
+    def test_tight_budget_spends_less_backoff(self, build_replicated, tiny_trace):
+        def total_backoff(policy):
+            system = _degraded_system(
+                build_replicated,
+                tiny_trace,
+                retry=False,
+                retry_policy=policy,
+                observability=True,
+            )
+            _probe(system, n=40)
+            dist = system.obs.metrics.distributions.get("maint.backoff_delay")
+            return dist.count if dist is not None else 0
+
+        tight = total_backoff(RetryPolicy(seed=47, max_total_delay=0.6))
+        loose = total_backoff(RetryPolicy(seed=47))
+        assert tight < loose

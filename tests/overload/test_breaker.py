@@ -1,0 +1,157 @@
+"""Circuit breakers: state machine, deterministic probing, instruments."""
+
+from __future__ import annotations
+
+from repro.obs import Observability
+from repro.overload import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionController,
+    OverloadPolicy,
+)
+
+
+def make_adm(**kwargs) -> AdmissionController:
+    defaults = dict(
+        service_rate=1e-9,
+        queue_cap=4,
+        breaker_threshold=3,
+        breaker_open_for=10,
+        breaker_probe_every=2,
+    )
+    defaults.update(kwargs)
+    obs = defaults.pop("obs", None)
+    return AdmissionController(OverloadPolicy(**defaults), obs=obs)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        adm = make_adm()
+        assert adm.breaker.state_of(7) == CLOSED
+        assert adm.breaker.allow(7)
+
+    def test_opens_after_threshold_consecutive_sheds(self):
+        adm = make_adm()
+        for _ in range(2):
+            adm.breaker.record_rejection(7)
+        assert adm.breaker.state_of(7) == CLOSED
+        adm.breaker.record_rejection(7)
+        assert adm.breaker.state_of(7) == OPEN
+        assert not adm.breaker.allow(7)
+        assert adm.breaker.open_count() == 1
+
+    def test_delivery_resets_the_streak(self):
+        adm = make_adm()
+        adm.breaker.record_rejection(7)
+        adm.breaker.record_rejection(7)
+        adm.breaker.record_delivery(7)
+        adm.breaker.record_rejection(7)
+        adm.breaker.record_rejection(7)
+        assert adm.breaker.state_of(7) == CLOSED
+
+    def test_open_turns_half_open_after_window(self):
+        adm = make_adm()
+        for _ in range(3):
+            adm.breaker.record_rejection(7)
+        assert not adm.breaker.allow(7)
+        adm.advance(9)
+        assert not adm.breaker.allow(7)  # window is 10 ticks
+        adm.advance(1)
+        adm.breaker.allow(7)
+        assert adm.breaker.state_of(7) == HALF_OPEN
+
+    def test_admitted_probe_closes(self):
+        adm = make_adm()
+        for _ in range(3):
+            adm.breaker.record_rejection(7)
+        adm.advance(10)
+        # Drive probes until one is admitted by the 1-in-k sequence.
+        while not adm.breaker.allow(7):
+            pass
+        adm.breaker.record_delivery(7)
+        assert adm.breaker.state_of(7) == CLOSED
+
+    def test_shed_probe_reopens(self):
+        adm = make_adm()
+        for _ in range(3):
+            adm.breaker.record_rejection(7)
+        adm.advance(10)
+        while not adm.breaker.allow(7):
+            pass
+        adm.breaker.record_rejection(7)
+        assert adm.breaker.state_of(7) == OPEN
+
+    def test_per_destination_isolation(self):
+        adm = make_adm()
+        for _ in range(3):
+            adm.breaker.record_rejection(7)
+        assert adm.breaker.state_of(7) == OPEN
+        assert adm.breaker.state_of(8) == CLOSED
+        assert adm.breaker.allow(8)
+
+
+class TestDeterministicProbing:
+    def _probe_pattern(self, seed: int, node: int, n: int = 64) -> list[bool]:
+        adm = make_adm(seed=seed, breaker_probe_every=4)
+        for _ in range(3):
+            adm.breaker.record_rejection(node)
+        adm.advance(10)
+        pattern = []
+        for _ in range(n):
+            allowed = adm.breaker.allow(node)
+            pattern.append(allowed)
+            if allowed:
+                # Re-open so the probe ordinal keeps advancing from a
+                # half-open state rather than closing the breaker.
+                adm.breaker.record_rejection(node)
+                adm.advance(10)
+                adm.breaker.allow(node)
+        return pattern
+
+    def test_same_seed_same_pattern(self):
+        assert self._probe_pattern(5, 70) == self._probe_pattern(5, 70)
+
+    def test_different_seed_different_pattern(self):
+        a = self._probe_pattern(1, 70)
+        b = self._probe_pattern(2, 70)
+        assert a != b
+
+    def test_pattern_admits_roughly_one_in_k(self):
+        pattern = self._probe_pattern(9, 70, n=128)
+        admitted = sum(pattern)
+        assert 0 < admitted < len(pattern)  # neither all-pass nor all-block
+
+
+class TestMeterCoupling:
+    def test_meter_sheds_feed_the_breaker(self):
+        adm = make_adm(queue_cap=1)
+        adm.try_arrive(7, "publish")
+        for _ in range(3):
+            adm.try_arrive(7, "publish")  # all shed
+        assert adm.breaker.state_of(7) == OPEN
+
+    def test_admitted_arrival_closes_via_record_delivery(self):
+        adm = make_adm(queue_cap=1)
+        adm.try_arrive(7, "publish")
+        for _ in range(3):
+            adm.try_arrive(7, "publish")  # all shed, streak -> threshold
+        assert adm.breaker.state_of(7) == OPEN
+        adm.set_rate(7, 0.5)  # the node recovers capacity
+        adm.advance(50)  # past the open window, meter fully drained
+        while not adm.breaker.allow(7):
+            pass
+        assert adm.try_arrive(7, "publish")  # admitted probe
+        assert adm.breaker.state_of(7) == CLOSED
+
+    def test_transitions_counted_and_instrumented(self):
+        obs = Observability()
+        adm = make_adm(obs=obs)
+        for _ in range(3):
+            adm.breaker.record_rejection(7)
+        adm.advance(10)
+        adm.breaker.allow(7)
+        assert adm.breaker.transitions == 2  # closed->open, open->half-open
+        counters = obs.metrics.counters
+        assert counters["overload.breaker_open"] == 1
+        assert counters["overload.breaker_half_open"] == 1

@@ -1,0 +1,136 @@
+"""Asynchronous delivery failure paths: in-flight deaths, saturated drops.
+
+``send_after`` charges at send time and decides deliverability at
+*delivery* time — a node that dies (or saturates) while the message is
+in flight swallows the handler silently.  These are the paths the churn
+scenarios rely on but never assert directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observability
+from repro.overload import AdmissionController, OverloadPolicy
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.node import PeerNode
+
+
+def make_net(n: int = 3, obs: Observability | None = None) -> tuple[Network, Simulator]:
+    sim = Simulator()
+    net = Network(simulator=sim, obs=obs)
+    for i in range(n):
+        net.add_node(PeerNode(i * 10))
+    return net, sim
+
+
+def test_requires_a_simulator():
+    net = Network()
+    net.add_node(PeerNode(0))
+    with pytest.raises(RuntimeError):
+        net.send_after(1.0, 0, 0, lambda node: None)
+
+
+def test_delivers_to_live_destination():
+    net, sim = make_net()
+    got: list[int] = []
+    net.send_after(1.0, 0, 10, lambda node: got.append(node.node_id))
+    assert got == []  # nothing until the engine advances
+    sim.run()
+    assert got == [10]
+
+
+def test_charged_at_send_time_even_when_dropped():
+    net, sim = make_net()
+    net.send_after(1.0, 0, 10, lambda node: None, kind="replicate")
+    charged = net.sink.total
+    assert charged == 1
+    net.fail_node(10)
+    sim.run()
+    assert net.sink.total == charged  # delivery never re-charges
+
+
+def test_destination_dies_in_flight_drops_silently():
+    net, sim = make_net()
+    got: list[int] = []
+    net.send_after(2.0, 0, 10, lambda node: got.append(node.node_id))
+    sim.schedule(1.0, lambda: net.fail_node(10))
+    sim.run()
+    assert got == []
+
+
+def test_destination_removed_in_flight_drops_silently():
+    net, sim = make_net()
+    got: list[int] = []
+    net.send_after(2.0, 0, 10, lambda node: got.append(node.node_id))
+    sim.schedule(1.0, lambda: net.remove_node(10))
+    sim.run()
+    assert got == []
+
+
+def test_recovery_before_delivery_restores_the_handler():
+    net, sim = make_net()
+    got: list[int] = []
+    net.send_after(3.0, 0, 10, lambda node: got.append(node.node_id))
+    sim.schedule(1.0, lambda: net.fail_node(10))
+    sim.schedule(2.0, lambda: net.recover_node(10))
+    sim.run()
+    assert got == [10]
+
+
+class TestSaturatedInboxDrops:
+    def _saturated_net(self) -> tuple[Network, Simulator, Observability]:
+        obs = Observability()
+        net, sim = make_net(obs=obs)
+        adm = AdmissionController(
+            OverloadPolicy(service_rate=1e-9, queue_cap=2), obs=obs
+        )
+        net.attach_admission(adm)
+        while not adm.saturated(10):
+            adm.try_arrive(10, "publish")
+        return net, sim, obs
+
+    def test_saturated_delivery_dropped_and_counted(self):
+        net, sim, obs = self._saturated_net()
+        got: list[int] = []
+        net.send_after(1.0, 0, 10, lambda node: got.append(node.node_id), kind="publish")
+        sim.run()
+        assert got == []
+        assert obs.metrics.counters["overload.async_dropped"] == 1
+
+    def test_unsaturated_destination_still_delivers(self):
+        net, sim, obs = self._saturated_net()
+        got: list[int] = []
+        net.send_after(1.0, 0, 20, lambda node: got.append(node.node_id), kind="publish")
+        sim.run()
+        assert got == [20]
+        assert "overload.async_dropped" not in obs.metrics.counters
+
+    def test_control_kind_delivers_through_saturation(self):
+        net, sim, obs = self._saturated_net()
+        got: list[int] = []
+        net.send_after(1.0, 0, 10, lambda node: got.append(node.node_id), kind="repair")
+        sim.run()
+        assert got == [10]  # control traffic is never dropped
+
+    def test_metering_happens_at_delivery_time(self):
+        # The inbox saturates only *after* the message is already in
+        # flight — the delivery-time meter is what drops it.
+        obs = Observability()
+        net, sim = make_net(obs=obs)
+        adm = AdmissionController(
+            OverloadPolicy(service_rate=1e-9, queue_cap=2), obs=obs
+        )
+        net.attach_admission(adm)
+        got: list[int] = []
+        net.send_after(2.0, 0, 10, lambda node: got.append(node.node_id), kind="publish")
+
+        def saturate() -> None:
+            while not adm.saturated(10):
+                adm.try_arrive(10, "publish")
+
+        sim.schedule(1.0, saturate)
+        sim.run()
+        assert got == []
+        assert obs.metrics.counters["overload.async_dropped"] == 1

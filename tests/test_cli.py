@@ -126,3 +126,42 @@ class TestFaultsVerb:
         )
         assert rc == 1
         assert "FAILED" in capsys.readouterr().err
+
+
+class TestOverloadVerb:
+    def test_parses_with_defaults(self):
+        args = build_parser().parse_args(["overload"])
+        assert args.nodes == 400
+        assert args.skew == 1.2
+        assert args.service_rate is None
+        assert not args.check
+
+    def test_storm_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "overload",
+                    "--nodes", "120",
+                    "--items", "2000",
+                    "--queries", "30",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "max inbox depth" in out
+        assert "shed rate" in out
+
+    def test_check_pass_and_fail(self, capsys):
+        base = [
+            "overload",
+            "--nodes", "120",
+            "--items", "2000",
+            "--queries", "30",
+            "--check",
+        ]
+        assert main(base + ["--max-shed", "1.0", "--min-avail", "0.0"]) == 0
+        assert "overload --check OK" in capsys.readouterr().out
+        rc = main(base + ["--min-avail", "1.01"])  # unsatisfiable threshold
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().err

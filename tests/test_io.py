@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.experiments.common import RowSet
-from repro.io import read_rowset_csv, write_manifest, write_rowset
+from repro.io import read_rowset_csv, update_manifest, write_manifest, write_rowset
 
 
 def sample_rowset():
@@ -59,6 +59,25 @@ class TestManifest:
         assert set(manifest) == {"figX", "figY"}
         assert manifest["figX"]["csv"] == "figx.csv"
         assert manifest["figX"]["rows"] == 2
+
+    def test_update_keeps_earlier_entries(self, tmp_path):
+        write_manifest(tmp_path, {"figX": sample_rowset()})
+        path = update_manifest(tmp_path, {"figY": sample_rowset()})
+        manifest = json.loads(path.read_text())
+        assert set(manifest) == {"figX", "figY"}
+
+    def test_update_replaces_rerun_ids(self, tmp_path):
+        update_manifest(tmp_path, {"figX": sample_rowset()})
+        rerun = sample_rowset()
+        rerun.add(300, 5.0)
+        path = update_manifest(tmp_path, {"figX": rerun})
+        manifest = json.loads(path.read_text())
+        assert manifest["figX"]["rows"] == 3
+
+    def test_update_survives_corrupt_manifest(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        path = update_manifest(tmp_path, {"figX": sample_rowset()})
+        assert set(json.loads(path.read_text())) == {"figX"}
 
 
 class TestReadErrors:
