@@ -231,6 +231,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --check: also fail if the run took longer than this",
     )
 
+    build = sub.add_parser(
+        "build",
+        help="time one build-path cell (keys + tight-capacity publish) and "
+        "verify the chunked pipeline and cascade placement against their "
+        "reference paths",
+    )
+    build.add_argument("--items", type=int, default=4000, help="corpus size")
+    build.add_argument("--nodes", type=int, default=250, help="overlay size")
+    build.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=512,
+        help="row-chunk size for the streaming angle pass",
+    )
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool workers for the chunked pass (0 = serial)",
+    )
+    build.add_argument("--seed", type=int, default=19980724, help="run RNG seed")
+    build.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless chunked keys are bit-identical and the "
+        "cascade engine's placements/accounting match the sequential "
+        "displacement chains (CI smoke)",
+    )
+    build.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="with --check: also fail unless cascade/chain speedup >= this",
+    )
+    build.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="with --check: also fail if the run took longer than this",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="time the micro-kernels; write or compare BENCH_*.json snapshots",
@@ -302,6 +343,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_faults(args)
     if args.command == "overload":
         return _cmd_overload(args)
+    if args.command == "build":
+        return _cmd_build(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
@@ -555,6 +598,106 @@ def _cmd_overload(args) -> int:
             print("overload --check FAILED: " + "; ".join(failed), file=sys.stderr)
             return 1
         print("overload --check OK")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .core import Meteorograph, MeteorographConfig, PlacementScheme
+    from .core.angles import absolute_angles
+    from .experiments.common import sample_of
+    from .workload import WorldCupParams, generate_trace
+
+    t0 = time.perf_counter()
+    trace = generate_trace(
+        WorldCupParams(n_items=args.items, n_keywords=max(100, args.items // 5)),
+        seed=args.seed,
+    )
+    corpus = trace.corpus
+    t1 = time.perf_counter()
+    whole = absolute_angles(corpus)
+    t2 = time.perf_counter()
+    chunked = absolute_angles(
+        corpus,
+        chunk_rows=args.chunk_rows,
+        workers=args.workers if args.workers > 1 else None,
+    )
+    t3 = time.perf_counter()
+    keys_identical = bool(np.array_equal(whole, chunked))
+
+    capacity = max(4, int(round((args.items / args.nodes) * 4 / 3)))
+
+    def build_sys() -> Meteorograph:
+        rng = np.random.default_rng(args.seed + 1)
+        return Meteorograph.build(
+            args.nodes,
+            corpus.dim,
+            rng=rng,
+            sample=sample_of(corpus, rng),
+            config=MeteorographConfig(
+                scheme=PlacementScheme.UNUSED_HASH, node_capacity=capacity
+            ),
+        )
+
+    def placements(system):
+        return {
+            n.node_id: frozenset(n.item_ids())
+            for n in system.network.nodes()
+            if len(n)
+        }
+
+    cas = build_sys()
+    t4 = time.perf_counter()
+    cas.publish_corpus(corpus, np.random.default_rng(args.seed + 2), batch=True,
+                       cascade=True)
+    cascade_s = time.perf_counter() - t4
+    seq = build_sys()
+    t5 = time.perf_counter()
+    seq.publish_corpus(corpus, np.random.default_rng(args.seed + 2), batch=True,
+                       cascade=False)
+    chain_s = time.perf_counter() - t5
+    placement_identical = placements(cas) == placements(seq)
+    accounting_identical = (
+        cas.network.sink.snapshot() == seq.network.sink.snapshot()
+    )
+    speedup = chain_s / cascade_s if cascade_s > 0 else float("inf")
+    elapsed = time.perf_counter() - t0
+    print(
+        f"[build] items {args.items}, nodes {args.nodes}, cap {capacity} "
+        f"(~4c/3), chunk_rows {args.chunk_rows}, workers {args.workers}"
+    )
+    print(
+        f"keys:    whole {1e3 * (t2 - t1):.1f} ms, chunked "
+        f"{1e3 * (t3 - t2):.1f} ms, bit-identical: {keys_identical}"
+    )
+    print(
+        f"publish: cascade {1e3 * cascade_s:.1f} ms, chain branch "
+        f"{1e3 * chain_s:.1f} ms, speedup {speedup:.1f}x"
+    )
+    print(
+        f"equivalence: placements {placement_identical}, accounting "
+        f"{accounting_identical} ({cas.network.sink.count('displace')} "
+        f"displacements), in {elapsed:.2f}s"
+    )
+    if args.check:
+        failed = []
+        if not keys_identical:
+            failed.append("chunked keys differ from the whole-corpus pass")
+        if not placement_identical:
+            failed.append("cascade placements differ from sequential chains")
+        if not accounting_identical:
+            failed.append("cascade message accounting differs")
+        if args.min_speedup is not None and speedup < args.min_speedup:
+            failed.append(f"speedup {speedup:.1f}x < {args.min_speedup}x")
+        if args.max_seconds is not None and elapsed > args.max_seconds:
+            failed.append(f"runtime {elapsed:.2f}s > {args.max_seconds}s")
+        if failed:
+            print("build --check FAILED: " + "; ".join(failed), file=sys.stderr)
+            return 1
+        print("build --check OK")
     return 0
 
 

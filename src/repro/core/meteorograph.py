@@ -40,7 +40,7 @@ from ..sim.network import Network
 from ..sim.node import StoredItem
 from ..vsm.index import LocalVsmIndex
 from ..vsm.sparse import Corpus, SparseVector
-from .angles import absolute_angle_from_arrays
+from .angles import DEFAULT_CHUNK_ROWS, absolute_angle_from_arrays
 from .directory import publish_pointer as _publish_pointer
 from .firsthop import FirstHopSelector
 from .knees import equalizer_from_sample
@@ -174,6 +174,27 @@ class NodeState:
         if i < len(self._ladder) and self._ladder[i] == (item.angle_key, item_id):
             del self._ladder[i]
         return item
+
+    def remove_many(self, item_ids: Sequence[int]) -> list[StoredItem]:
+        """Bulk :meth:`remove`: one index pass plus a single ladder sweep.
+
+        Equivalent to removing the ids one at a time (each id has at most
+        one ladder entry by the :meth:`add` invariant).  Used by the
+        cascade reconcile, where a node may shed a large slice of its
+        ladder in one event."""
+        index = self.index
+        out = [index.remove(iid) for iid in item_ids]
+        gone = set(item_ids)
+        self._ladder = [e for e in self._ladder if e[1] not in gone]
+        return out
+
+    def snapshot(self) -> tuple[list[tuple[int, int]], dict[int, StoredItem]]:
+        """(ladder copy, id → item copy) for shadow-state seeding.
+
+        The copies are independent of this state: the cascade engine
+        mutates them freely and reconciles net diffs back through
+        :meth:`remove_many` / :meth:`add_many`."""
+        return list(self._ladder), self.index.items_by_id()
 
     def min_angle_item(self) -> Optional[StoredItem]:
         if not self._ladder:
@@ -364,13 +385,30 @@ class Meteorograph:
             return angle_key, self.equalizer.remap(angle_key)
         return angle_key, angle_key
 
-    def corpus_keys(self, corpus: Corpus) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorised :meth:`item_keys` over a corpus."""
+    def corpus_keys(
+        self,
+        corpus: Corpus,
+        *,
+        chunk_rows: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`item_keys` over a corpus.
+
+        Corpora larger than :data:`repro.core.angles.DEFAULT_CHUNK_ROWS`
+        rows stream the angle pass in chunks automatically (bounded
+        temporaries, bit-identical keys); pass ``chunk_rows`` to pin a
+        chunk size (or a value ≥ the corpus to force the whole-corpus
+        pass) and ``workers`` to fan chunks over a process pool.
+        """
         if corpus.dim != self.dim:
             raise ValueError(f"corpus dim {corpus.dim} != system dim {self.dim}")
+        if chunk_rows is None and corpus.n_items > DEFAULT_CHUNK_ROWS:
+            chunk_rows = DEFAULT_CHUNK_ROWS
         obs = self.network.obs
         with obs.metrics.timer("kernel.angles"):
-            angle_keys = corpus_to_keys(corpus, self.space)
+            angle_keys = corpus_to_keys(
+                corpus, self.space, chunk_rows=chunk_rows, workers=workers
+            )
         if self.equalizer is not None:
             with obs.metrics.timer("kernel.remap"):
                 publish_keys = self.equalizer.remap_many(angle_keys)
@@ -529,6 +567,9 @@ class Meteorograph:
         item_ids: Optional[Sequence[int]] = None,
         origin: Optional[int] = None,
         batch: Optional[bool] = None,
+        cascade: Optional[bool] = None,
+        chunk_rows: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> list[PublishResult]:
         """Publish every corpus row (keys batch-computed, vectorised).
 
@@ -547,8 +588,14 @@ class Meteorograph:
         random live node unless ``origin`` pins one; batch mode draws
         (or is pinned to) a single origin for its one route.
         ``item_ids`` renames rows (default: row index).
+
+        ``cascade`` selects the finite-capacity placement engine (see
+        :func:`repro.core.publish.batch_publish`); ``chunk_rows`` /
+        ``workers`` stream the key pipeline (see :meth:`corpus_keys`).
         """
-        angle_keys, publish_keys = self.corpus_keys(corpus)
+        angle_keys, publish_keys = self.corpus_keys(
+            corpus, chunk_rows=chunk_rows, workers=workers
+        )
         ids = (
             np.arange(corpus.n_items, dtype=np.int64)
             if item_ids is None
@@ -587,6 +634,7 @@ class Meteorograph:
                 policy=self.config.replacement_policy,
                 keys=publish_keys,
                 norms=corpus.norms(),
+                cascade=cascade,
             )
             self.register_published_many(ids, angle_keys, publish_keys)
             return results

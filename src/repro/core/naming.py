@@ -46,9 +46,21 @@ def vector_to_key(vector: SparseVector, space: KeySpace) -> int:
     return angle_to_key(absolute_angle(vector), space)
 
 
-def corpus_to_keys(corpus: Corpus, space: KeySpace) -> np.ndarray:
-    """Vectorised Eq. 5 over a whole corpus (int64 keys)."""
-    thetas = absolute_angles(corpus)
+def corpus_to_keys(
+    corpus: Corpus,
+    space: KeySpace,
+    *,
+    chunk_rows: int | None = None,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Vectorised Eq. 5 over a whole corpus (int64 keys).
+
+    ``chunk_rows`` / ``workers`` stream the angle pass in row chunks
+    (optionally over a process pool) with bit-identical keys — the
+    key map itself is elementwise, so only the O(nnz) angle temporaries
+    need bounding.  See :func:`repro.core.angles.absolute_angles`.
+    """
+    thetas = absolute_angles(corpus, chunk_rows=chunk_rows, workers=workers)
     keys = np.floor((thetas / math.pi) * space.modulus).astype(np.int64)
     return np.minimum(keys, space.modulus - 1)
 

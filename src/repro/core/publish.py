@@ -128,7 +128,9 @@ def run_displacement_chain(
     current = home_id
     incoming = item
     budget = hop_budget
-    frontier = system.overlay.closest_neighbors(home_id, alive_only=True)
+    # Built on first demand: the overwhelmingly common publish lands on
+    # a non-full home and must do zero neighbor-ordering work.
+    frontier = None
     tracer = system.network.obs.tracer
     while True:
         node = system.network.node(current)
@@ -149,6 +151,8 @@ def run_displacement_chain(
             result.success = False
             result.dropped_item_id = victim.item_id
             return result
+        if frontier is None:
+            frontier = system.overlay.closest_neighbors(home_id, alive_only=True)
         next_id = next(frontier, None)
         if next_id is None:
             # No node left in the overlay can take the victim.
@@ -274,6 +278,7 @@ def batch_publish(
     policy: ReplacementPolicy = ReplacementPolicy.ANGLE,
     keys: Optional[np.ndarray] = None,
     norms: Optional[np.ndarray] = None,
+    cascade: Optional[bool] = None,
 ) -> list[PublishResult]:
     """Single-sweep batch placement (Mercury-style locality batching).
 
@@ -304,6 +309,14 @@ def batch_publish(
     array and ``norms`` their Euclidean norms (``Corpus.norms``) —
     callers that batch-computed either for the whole corpus skip the
     per-item recomputation here.
+
+    ``cascade`` selects the finite-capacity engine: ``None`` (auto, the
+    default) runs the :mod:`repro.core.cascade` shadow-state engine
+    whenever it is exact for the configuration (``ANGLE`` policy, no
+    notification/admission hooks) and falls back to the per-item chain
+    loop otherwise; ``False`` forces the sequential loop (the reference
+    semantics the equivalence tests compare against); ``True`` asserts
+    the engine and raises if the configuration cannot take it.
     """
     n = len(items)
     if n == 0:
@@ -367,9 +380,31 @@ def batch_publish(
                 pass
             cur = nxt
         route_hops[order_l[0]] += start_hops
-        displacement_free = all(
-            network.node(nid).capacity is None for nid in live
+        # No-overflow prepass: a node can only start a displacement chain
+        # if its run of arrivals pushes it past capacity, so when every
+        # receiving node can absorb its whole run the batch is
+        # displacement-free even under finite capacity and the bulk-store
+        # branch is exact.  (Re-published ids overcount arrivals, which
+        # only errs toward the general branch.)
+        caps = np.fromiter(
+            (
+                -1 if (c := network.node(nid).capacity) is None else c
+                for nid in live
+            ),
+            dtype=np.int64,
+            count=m,
         )
+        displacement_free = bool(np.all(caps < 0))
+        if not displacement_free:
+            loads = np.fromiter(
+                (len(network.node(nid)) for nid in live), dtype=np.int64, count=m
+            )
+            arrivals = np.bincount(
+                np.searchsorted(live_sorted, homes), minlength=m
+            )
+            displacement_free = bool(
+                np.all((caps < 0) | (loads + arrivals <= caps))
+            )
         if displacement_free:
             # Key order == sweep order: each node's whole run is dropped
             # off in one bulk store as the sweep passes its home.
@@ -396,18 +431,43 @@ def batch_publish(
             if run:
                 store_run(run_home, run, run_norms)
         else:
-            timer = obs.metrics.timer
-            for k in range(n):  # original publish order: chain outcomes match the loop
-                with timer("publish.displace_chain"):
-                    res = run_displacement_chain(
+            from .cascade import cascade_placement, cascade_supported
+
+            engine = cascade if cascade is not None else cascade_supported(
+                system, policy
+            )
+            if cascade is True and not cascade_supported(system, policy):
+                raise ValueError(
+                    "cascade placement requires the ANGLE policy and no "
+                    "notification/admission hooks"
+                )
+            placed = False
+            if engine:
+                with obs.metrics.timer("publish.cascade"):
+                    placed = cascade_placement(
                         system,
-                        homes_l[k],
-                        items[k],
+                        items,
+                        homes_l,
+                        route_hops,
+                        results,
                         hop_budget=hop_budget,
-                        policy=policy,
+                        norms=norms,
                     )
-                res.route_hops = route_hops[k]
-                results[k] = res
+            if not placed:
+                if engine:
+                    obs.metrics.counter("publish.cascade_fallback")
+                timer = obs.metrics.timer
+                for k in range(n):  # original publish order: chain outcomes match the loop
+                    with timer("publish.displace_chain"):
+                        res = run_displacement_chain(
+                            system,
+                            homes_l[k],
+                            items[k],
+                            hop_budget=hop_budget,
+                            policy=policy,
+                        )
+                    res.route_hops = route_hops[k]
+                    results[k] = res
         sp.set(
             route_hops=start_hops,
             sweep_hops=sweep,

@@ -163,8 +163,18 @@ class ReplicationManager:
         new_home = self.system.overlay.live_home(record.item.publish_key)
         if new_home is None:
             return 0, len(live)
-        candidates = [new_home] + self.system.overlay.replica_homes(
-            new_home, self.factor
+        # Walk replica homes in preference order *over live nodes*: a
+        # fixed-size candidate window can be exhausted entirely by dead
+        # ex-holders clustered around the home (they were placed there
+        # by construction), leaving the factor unrestored even though
+        # live targets exist one step further out.
+        candidates = (
+            nid
+            for source in (
+                (new_home,),
+                self.system.overlay.closest_neighbors(new_home, wrap=True),
+            )
+            for nid in source
         )
         placed = 0
         for target in candidates:

@@ -23,8 +23,10 @@ from .softstate_exp import run_softstate
 from .heterogeneous import run_heterogeneous, run_conjunctions
 from .queryload import run_query_load
 from .overload import run_overload, storm_cell
+from .buildscale import run_build_scale
 
 ALL_EXPERIMENTS = {
+    "buildscale": run_build_scale,
     "queryload": run_query_load,
     "overload": run_overload,
     "softstate": run_softstate,
@@ -84,5 +86,6 @@ __all__ = [
     "run_query_load",
     "run_overload",
     "storm_cell",
+    "run_build_scale",
     "ALL_EXPERIMENTS",
 ]

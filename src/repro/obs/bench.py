@@ -61,7 +61,11 @@ _LOOPS = {
     "leafset_cached": 50,
     "admission_check": 50,
     "local_index_query": 50,
+    "local_index_add": 5,
+    "angles_chunked": 3,
     "batch_publish": 1,
+    "batch_publish_tight": 1,
+    "cascade_spill": 1,
     "publish_per_item": 1,
     "repair_tick_incremental": 1,
     "repair_full_scan": 1,
@@ -123,6 +127,26 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
     q = SparseVector.from_mapping(
         {int(k): 1.0 for k in idx_rng.choice(4000, 5, replace=False)}, 4000
     )
+
+    # Index-build kernel: the same 400-item workload the query kernel
+    # searches, but timing the posting-list inserts themselves (the
+    # per-keyword loop the ``.tolist()`` unboxing fix targets).
+    add_rng = np.random.default_rng(2)
+    add_items = [
+        StoredItem(
+            i,
+            0,
+            0,
+            np.sort(add_rng.choice(4000, size=40, replace=False)).astype(np.int64),
+            add_rng.uniform(0.5, 3.0, 40),
+        )
+        for i in range(400)
+    ]
+
+    def index_add_all(index) -> int:
+        for it in add_items:
+            index.add(it)
+        return len(add_items)
 
     def route_all() -> int:
         total = 0
@@ -191,6 +215,46 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         res = system.publish_corpus(corpus, np.random.default_rng(3), batch=False)
         return len(res)
 
+    # Tight-capacity publish: the same corpus/ring but every node capped
+    # at 8 items, so the bulk branch is unavailable and placement runs
+    # through the Fig. 2 displacement machinery — the cascade engine's
+    # headline workload (the per-item chain loop took seconds here).
+    tight_cfg = MeteorographConfig(scheme=PlacementScheme.UNUSED_HASH, node_capacity=8)
+
+    def prepare_publish_tight() -> object:
+        return Meteorograph.build(
+            n_nodes,
+            corpus.dim,
+            rng=np.random.default_rng(9),
+            sample=publish_sample,
+            config=tight_cfg,
+        )
+
+    # Spill-dominated cascade: a small ring loaded to ~83% of aggregate
+    # capacity, so most publishes displace and chains run long — times
+    # the engine's shadow/event loop rather than the route/key stages.
+    spill_n_nodes = max(50, int(round(200 * s)))
+    spill_ids = np.sort(
+        np.random.default_rng(7).choice(
+            corpus.n_items, min(2000, corpus.n_items), replace=False
+        )
+    )
+    spill_corpus = corpus.subsample(spill_ids)
+    spill_cfg = MeteorographConfig(scheme=PlacementScheme.UNUSED_HASH, node_capacity=12)
+
+    def prepare_spill() -> object:
+        return Meteorograph.build(
+            spill_n_nodes,
+            corpus.dim,
+            rng=np.random.default_rng(13),
+            sample=publish_sample,
+            config=spill_cfg,
+        )
+
+    def publish_spill(system) -> int:
+        res = system.publish_corpus(spill_corpus, np.random.default_rng(3), batch=True)
+        return len(res)
+
     # Repair kernels: a replicated system with a 5% failure batch, then
     # one maintenance pass — dirty-set incremental vs full scan.  The
     # ratio is the O(affected)-vs-O(published) gap the RepairEngine
@@ -234,13 +298,17 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
 
     return {
         "absolute_angles": lambda: absolute_angles(corpus),
+        "angles_chunked": lambda: absolute_angles(corpus, chunk_rows=1024),
         "corpus_to_keys": lambda: corpus_to_keys(corpus, space),
         "equalizer_remap": lambda: eq.remap_many(keys),
         "tornado_route": route_all,
         "leafset_cached": leafset_all,
         "admission_check": admission_disabled_sends,
         "local_index_query": lambda: idx.query(q, 20),
+        "local_index_add": (lambda: LocalVsmIndex(4000), index_add_all),
         "batch_publish": (prepare_publish, publish_batch),
+        "batch_publish_tight": (prepare_publish_tight, publish_batch),
+        "cascade_spill": (prepare_spill, publish_spill),
         "publish_per_item": (prepare_publish, publish_sequential),
         "repair_tick_incremental": (prepare_repair(True), repair_incremental),
         "repair_full_scan": (prepare_repair(False), repair_full),

@@ -250,13 +250,19 @@ class SortedKeyRing:
         )
         if wrap:
             # Two-pointer merge over the circular order; indices wrap mod n.
+            # Equidistant pairs emit the smaller key first — the same
+            # tie-break as ``closest`` and the route kernel, so the
+            # ``live_home`` preference order agrees with where greedy
+            # strict-descent routing actually settles.
             emitted = 0
             lo_i, hi_i = lo, hi
             total = n - (1 if has_self else 0)
             while emitted < total:
                 lo_k = self._keys[lo_i % n]
                 hi_k = self._keys[hi_i % n]
-                if dist(hi_k) <= dist(lo_k):
+                dh = dist(hi_k)
+                dl = dist(lo_k)
+                if dh < dl or (dh == dl and hi_k < lo_k):
                     yield hi_k
                     hi_i += 1
                 else:

@@ -172,6 +172,19 @@ class PeerNode:
         except KeyError:
             raise KeyError(f"node {self.node_id} does not hold item {item_id}") from None
 
+    def evict_many(self, item_ids: Iterable[int]) -> list[StoredItem]:
+        """Bulk :meth:`evict`; raises on the first id not held."""
+        pop = self._items.pop
+        out = []
+        try:
+            for iid in item_ids:
+                out.append(pop(iid))
+        except KeyError:
+            raise KeyError(
+                f"node {self.node_id} does not hold item {iid}"
+            ) from None
+        return out
+
     # -- directory pointers (§3.5.2) --------------------------------------
 
     def add_pointer(self, pointer: DirectoryPointer) -> None:

@@ -165,3 +165,37 @@ class TestOverloadVerb:
         rc = main(base + ["--min-avail", "1.01"])  # unsatisfiable threshold
         assert rc == 1
         assert "FAILED" in capsys.readouterr().err
+
+
+class TestBuildVerb:
+    def test_parses_with_defaults(self):
+        args = build_parser().parse_args(["build"])
+        assert args.items == 4000
+        assert args.chunk_rows == 512
+        assert not args.check
+
+    def test_build_smoke_and_check(self, capsys):
+        base = [
+            "build",
+            "--items", "600",
+            "--nodes", "80",
+            "--chunk-rows", "97",
+        ]
+        assert main(base + ["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical: True" in out
+        assert "placements True" in out
+        assert "build --check OK" in out
+
+    def test_check_failure_returns_nonzero(self, capsys):
+        rc = main(
+            [
+                "build",
+                "--items", "600",
+                "--nodes", "80",
+                "--check",
+                "--min-speedup", "1000",  # unsatisfiable threshold
+            ]
+        )
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().err
