@@ -272,6 +272,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --check: also fail if the run took longer than this",
     )
 
+    qps = sub.add_parser(
+        "qps",
+        help="replay a sustained Zipf query storm through the sequential "
+        "retrieve loop and the batch engine; report throughput, latency "
+        "percentiles, and the batch speedup",
+    )
+    qps.add_argument("--items", type=int, default=6000, help="published items")
+    qps.add_argument("--nodes", type=int, default=400, help="overlay size")
+    qps.add_argument(
+        "--queries", type=int, default=1000, help="storm query count"
+    )
+    qps.add_argument(
+        "--skew", type=float, default=1.2, help="Zipf exponent of the storm"
+    )
+    qps.add_argument(
+        "--top-keywords",
+        type=int,
+        default=8,
+        help="popular-keyword pool the storm draws from",
+    )
+    qps.add_argument(
+        "--amount",
+        type=int,
+        default=None,
+        help="items requested per query (default: exhaustive walk)",
+    )
+    qps.add_argument(
+        "--window",
+        type=int,
+        default=512,
+        help="arrival window drained per retrieve_many call",
+    )
+    qps.add_argument("--seed", type=int, default=702, help="run RNG seed")
+    qps.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the engines found identical items with "
+        "an identical message bill (CI smoke)",
+    )
+    qps.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="with --check: also fail unless batch/sequential speedup >= this",
+    )
+    qps.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="with --check: also fail if the run took longer than this",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="time the micro-kernels; write or compare BENCH_*.json snapshots",
@@ -345,6 +397,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_overload(args)
     if args.command == "build":
         return _cmd_build(args)
+    if args.command == "qps":
+        return _cmd_qps(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
@@ -698,6 +752,73 @@ def _cmd_build(args) -> int:
             print("build --check FAILED: " + "; ".join(failed), file=sys.stderr)
             return 1
         print("build --check OK")
+    return 0
+
+
+def _cmd_qps(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .core import PlacementScheme
+    from .experiments.common import build_system, publish_all
+    from .experiments.qps import qps_cell, qps_storm
+    from .workload import WorldCupParams, generate_trace
+
+    t0 = time.perf_counter()
+    trace = generate_trace(
+        WorldCupParams(n_items=args.items, n_keywords=max(100, args.items // 5)),
+        seed=19980724,
+    )
+    rng = np.random.default_rng(args.seed)
+    system = build_system(trace, args.nodes, PlacementScheme.UNUSED_HASH, rng=rng)
+    publish_all(system, trace, rng)
+    origins, storm = qps_storm(
+        trace, system, n_nodes=args.nodes, queries=args.queries,
+        skew=args.skew, top_keywords=args.top_keywords, seed=args.seed,
+    )
+    patience = max(16, args.nodes // 20)
+    window = max(2, min(args.window, len(storm)))
+    cell = dict(amount=args.amount, patience=patience)
+    seq = qps_cell(system, origins, storm, window=1, **cell)
+    bat = qps_cell(system, origins, storm, window=window, **cell)
+    speedup = seq["elapsed_s"] / bat["elapsed_s"]
+    elapsed = time.perf_counter() - t0
+    print(
+        f"[qps] nodes {args.nodes}, items {args.items}, {args.queries} "
+        f"queries ~ Zipf({args.skew:g}) over top {args.top_keywords} "
+        f"keywords, window {window}"
+    )
+    print(
+        f"sequential: {seq['qps']:.0f} q/s, p50 {seq['p50_ms']:.2f} ms, "
+        f"p95 {seq['p95_ms']:.2f} ms, {seq['found']} found, "
+        f"{seq['messages']} messages"
+    )
+    print(
+        f"batch:      {bat['qps']:.0f} q/s, p50 {bat['p50_ms']:.2f} ms, "
+        f"p95 {bat['p95_ms']:.2f} ms, {bat['found']} found, "
+        f"{bat['messages']} messages"
+    )
+    print(f"speedup:    {speedup:.1f}x, in {elapsed:.2f}s")
+    if args.check:
+        failed = []
+        if bat["found"] != seq["found"]:
+            failed.append(
+                f"batch found {bat['found']} items != sequential {seq['found']}"
+            )
+        if bat["messages"] != seq["messages"]:
+            failed.append(
+                f"batch sent {bat['messages']} messages != sequential "
+                f"{seq['messages']}"
+            )
+        if args.min_speedup is not None and speedup < args.min_speedup:
+            failed.append(f"speedup {speedup:.1f}x < {args.min_speedup}x")
+        if args.max_seconds is not None and elapsed > args.max_seconds:
+            failed.append(f"runtime {elapsed:.2f}s > {args.max_seconds}s")
+        if failed:
+            print("qps --check FAILED: " + "; ".join(failed), file=sys.stderr)
+            return 1
+        print("qps --check OK")
     return 0
 
 

@@ -33,6 +33,7 @@ from .search import (
     retrieve,
     retrieve_with_pointers,
 )
+from .search_batch import retrieve_many
 from .firsthop import FirstHopSelector
 from .directory import pointer_for, publish_pointer
 from .replication import ReplicaRecord, ReplicationManager
@@ -73,6 +74,7 @@ __all__ = [
     "RetrieveResult",
     "find_item",
     "retrieve",
+    "retrieve_many",
     "retrieve_with_pointers",
     "FirstHopSelector",
     "pointer_for",

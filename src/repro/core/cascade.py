@@ -37,6 +37,11 @@ hooks that observe per-event side effects.  If the engine detects
 shadow/real state divergence it aborts *before any real mutation or
 charge* and the caller reruns the sequential branch — fallback is
 always safe.
+
+The same batching discipline — share the expensive sweep, replay exact
+per-item accounting, fall back sequentially when a configuration
+observes per-event side effects — serves the read path in
+:mod:`repro.core.search_batch`.
 """
 
 from __future__ import annotations

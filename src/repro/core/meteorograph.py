@@ -56,6 +56,7 @@ from .search import (
     retrieve,
     retrieve_with_pointers,
 )
+from .search_batch import retrieve_many
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..maint.retry import RetryPolicy
@@ -700,6 +701,71 @@ class Meteorograph:
         if self.config.directory_pointers:
             return retrieve_with_pointers(self, origin, query, amount, **kwargs)
         return retrieve(self, origin, query, amount, **kwargs)
+
+    def retrieve_many(
+        self,
+        origin,
+        queries: Sequence[SparseVector],
+        amount: Optional[int],
+        *,
+        use_first_hop: bool = False,
+        **kwargs,
+    ) -> list[RetrieveResult]:
+        """Batch similarity search: element i equals ``retrieve(origin_i,
+        queries[i], amount, ...)`` at a fraction of the cost.
+
+        ``origin`` is one node id for the whole batch or one per query.
+        With ``use_first_hop``, the §3.5.1 start key and sweep direction
+        are resolved per query exactly as :meth:`retrieve` does; queries
+        sharing a resolved (start key, direction) are batched together,
+        the rest of the sharing happens inside
+        :func:`repro.core.search_batch.retrieve_many` (which falls back
+        to the sequential protocols under directory pointers, admission
+        control, replication, or retries).
+        """
+        queries = list(queries)
+        if isinstance(origin, (int, np.integer)):
+            origins = [int(origin)] * len(queries)
+        else:
+            origins = [int(o) for o in origin]
+            if len(origins) != len(queries):
+                raise ValueError(
+                    f"{len(origins)} origins for {len(queries)} queries"
+                )
+        if not use_first_hop:
+            return retrieve_many(self, origins, queries, amount, **kwargs)
+        if self.first_hop is None:
+            raise RuntimeError("no first-hop selector (no sample at build time)")
+        angle_space = self.config.directory_pointers
+        buckets: dict[tuple, list[int]] = {}
+        for i, q in enumerate(queries):
+            kw = dict(kwargs)
+            kws = [int(j) for j in q.indices]
+            start = self.first_hop.start_key(kws, angle_space=angle_space)
+            if start is not None:
+                kw.setdefault("start_key", start)
+                kw.setdefault("direction", "both" if angle_space else "up")
+            else:
+                relaxed = self.first_hop.relaxed_start_key(kws, angle_space=angle_space)
+                if relaxed is not None:
+                    kw.setdefault("start_key", relaxed[0])
+                    kw.setdefault("direction", "both")
+            buckets.setdefault(
+                (kw.get("start_key"), kw.get("direction", "both")), []
+            ).append(i)
+        results: list[Optional[RetrieveResult]] = [None] * len(queries)
+        for (start_key, direction), members in buckets.items():
+            call_kwargs = dict(kwargs, start_key=start_key, direction=direction)
+            out = retrieve_many(
+                self,
+                [origins[i] for i in members],
+                [queries[i] for i in members],
+                amount,
+                **call_kwargs,
+            )
+            for i, res in zip(members, out):
+                results[i] = res
+        return results
 
     def find(self, origin: int, item_id: int, **kwargs) -> FindResult:
         """Exact-item lookup by its published key (Fig. 9 metric pair)."""

@@ -21,6 +21,19 @@ Two replacement policies are provided:
   least-similar one in the sense that matters for clustering; DESIGN.md
   records this as a measured-equivalent substitution (the ablation
   bench compares both).
+
+Entry points:
+
+* :func:`publish_item` — one item through route + displacement chain
+  (the literal Fig. 2 loop).
+* :func:`run_displacement_chain` — the chain alone, reused by repair
+  and replication placement.
+* :func:`batch_publish` — a whole corpus in one key-sorted ring sweep;
+  finite-capacity batches run through the cascade engine
+  (:mod:`repro.core.cascade`).  Placements and message accounting are
+  identical to the sequential loop (``tests/core/test_batch_publish.py``);
+  unsupported configurations fall back per item.  The read path has a
+  twin of this engine in :mod:`repro.core.search_batch`.
 """
 
 from __future__ import annotations

@@ -6,9 +6,12 @@ the requested ``amount`` — consult closest neighbors in key order.
 Because publish clusters similar items at and around the home, the walk
 terminates after ~k/c nodes for a k-item request.
 
-Three entry points:
+Entry points:
 
 * :func:`retrieve` — the plain Fig. 2 ``_retrieve`` (+ neighbor walk).
+  Under back-pressure the home may shed the query; the result is then
+  harvested from the nearest admitting key-neighbor and tagged with a
+  ``degradation_level`` (the overload-protection contract).
 * :func:`find_item` — exact-item lookup used by the Fig. 9 experiment,
   reporting both the "Closest" hop count (route) and the "Neighbors"
   hop count (walk to wherever displacement actually left the item).
@@ -16,6 +19,14 @@ Three entry points:
   directory pointers (pointer home first, then sequential body
   fetches), giving the paper's ``(1 + k/c)·O(log N)`` message bound
   while item bodies stay uniformly spread.
+* :func:`repro.core.search_batch.retrieve_many` — the batch engine:
+  many queries in one call, sharing route resolution, walk orders, and
+  bulk index scoring while keeping per-query accounting identical to a
+  sequential loop over :func:`retrieve` (see DESIGN.md, "Read path").
+
+Walk frontiers come from the overlay's memoised
+:meth:`~repro.overlay.base.Overlay.walk_order` (epoch-cached like leaf
+sets); this module filters liveness at consumption time.
 """
 
 from __future__ import annotations
@@ -98,29 +109,17 @@ class FindResult:
 def _walk_order(
     system: "Meteorograph", home: int, direction: Direction
 ):
-    """Frontier of nodes to consult after the home, per walk direction."""
-    if direction == "both":
-        yield from system.overlay.closest_neighbors(home, alive_only=True)
-        return
-    ring = system.overlay.ring
-    space = system.space
-    cur = home
-    seen = {home}
-    for _ in range(len(ring)):
-        nxt = ring.successor(space.wrap(cur + 1)) if direction == "up" else ring.predecessor(cur)
-        if nxt in seen:
-            return
-        # The angle→key mapping is a half-circle, not a ring: a
-        # directional sweep stops at the end of the space instead of
-        # wrapping around to the other extreme.
-        if direction == "up" and nxt < cur:
-            return
-        if direction == "down" and nxt > cur:
-            return
-        cur = nxt
-        seen.add(cur)
-        if system.network.is_alive(cur):
-            yield cur
+    """Frontier of nodes to consult after the home, per walk direction.
+
+    The order itself comes from the overlay's epoch-memoised
+    ``walk_order`` (the per-query recomputation used to dominate
+    hot-home walk cost); liveness is filtered here, at consumption,
+    because ``fail()`` does not invalidate membership caches.
+    """
+    is_alive = system.network.is_alive
+    for nid in system.overlay.walk_order(home, direction):
+        if is_alive(nid):
+            yield nid
 
 
 def retrieve(
@@ -296,9 +295,7 @@ def find_item(
         walked = 0
         current = home
         with obs.metrics.timer("kernel.walk"):
-            for neighbor in system.overlay.closest_neighbors(
-                home, alive_only=True
-            ):
+            for neighbor in _walk_order(system, home, "both"):
                 if max_walk is not None and walked >= max_walk:
                     break
                 try:
@@ -515,9 +512,7 @@ def retrieve_with_pointers(
             if missing:
                 walked = 0
                 current = terminal
-                for neighbor in system.overlay.closest_neighbors(
-                    terminal, alive_only=True
-                ):
+                for neighbor in _walk_order(system, terminal, "both"):
                     if not missing or walked >= fetch_walk_limit:
                         break
                     if amount is not None and len(result.discoveries) >= amount:

@@ -24,9 +24,11 @@ from .heterogeneous import run_heterogeneous, run_conjunctions
 from .queryload import run_query_load
 from .overload import run_overload, storm_cell
 from .buildscale import run_build_scale
+from .qps import run_qps, qps_cell, qps_storm
 
 ALL_EXPERIMENTS = {
     "buildscale": run_build_scale,
+    "qps": run_qps,
     "queryload": run_query_load,
     "overload": run_overload,
     "softstate": run_softstate,
@@ -87,5 +89,8 @@ __all__ = [
     "run_overload",
     "storm_cell",
     "run_build_scale",
+    "run_qps",
+    "qps_cell",
+    "qps_storm",
     "ALL_EXPERIMENTS",
 ]

@@ -61,7 +61,12 @@ _LOOPS = {
     "leafset_cached": 50,
     "admission_check": 50,
     "local_index_query": 50,
+    "local_index_query_many": 5,
     "local_index_add": 5,
+    "walk_order_cached": 50,
+    "walk_order_rebuild": 5,
+    "retrieve_batch": 1,
+    "retrieve_per_query": 1,
     "angles_chunked": 3,
     "batch_publish": 1,
     "batch_publish_tight": 1,
@@ -166,6 +171,37 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
             total += len(leaf_set(o))
         return total
 
+    # Bulk-scoring kernel: the same 400-item node index answering a
+    # 64-query batch in one query_many pass (its per-query cost is the
+    # read path's analogue of the add_many unboxing fix).
+    many_qs = [
+        SparseVector.from_mapping(
+            {int(k): 1.0 for k in idx_rng.choice(4000, 5, replace=False)}, 4000
+        )
+        for _ in range(64)
+    ]
+
+    # Walk-order memo: cache-hit lookups vs full rebuilds of the
+    # materialised neighbor orders (the per-query recomputation the
+    # epoch memo removed from every hot-home walk).
+    for o in origins:
+        overlay.walk_order(o)
+
+    def walk_order_hits() -> int:
+        total = 0
+        wo = overlay.walk_order
+        for o in origins:
+            total += len(wo(o))
+        return total
+
+    def walk_order_rebuilds() -> int:
+        overlay._walk_orders.clear()  # noqa: SLF001 - forcing the miss path
+        total = 0
+        wo = overlay.walk_order
+        for o in origins:
+            total += len(wo(o))
+        return total
+
     # Admission fast path: synchronous sends on a fabric with *no*
     # controller attached — the per-send cost of the zero-cost-when-off
     # contract must stay one attribute load + None check over the
@@ -255,6 +291,48 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         res = system.publish_corpus(spill_corpus, np.random.default_rng(3), batch=True)
         return len(res)
 
+    # Retrieve kernels: a Zipf(1.2) storm of co-located queries — the
+    # hot-keyword regime X-QPS replays at full size — against one
+    # pre-built, fully published ring.  Retrieval is read-only, so both
+    # kernels share the system (no prepare); their ratio is the batch
+    # read path's speedup over the sequential per-query loop, and both
+    # execute identical protocol work by the retrieve_many equivalence
+    # contract.
+    from ..core.search import retrieve
+    from ..core.search_batch import retrieve_many
+    from ..workload.queries import keyword_query, nth_popular_keyword
+    from ..workload.zipf import ZipfSampler
+
+    qps_system = prepare_publish()
+    qps_system.publish_corpus(corpus, np.random.default_rng(3), batch=True)
+    qrng = np.random.default_rng(17)
+    n_queries = max(100, int(round(1000 * s)))
+    kw_cap = max(8, min(n_nodes, corpus.n_items // 20))
+    top_kws = [
+        nth_popular_keyword(corpus, 1 + r, max_matches=kw_cap) for r in range(8)
+    ]
+    qvecs = [keyword_query(trace, [kw]) for kw in top_kws]
+    ranks = ZipfSampler(len(qvecs), 1.2).sample(qrng, n_queries)
+    qps_queries = [qvecs[r] for r in ranks.tolist()]
+    # Queries enter through a 64-node gateway set (cycled), the X-QPS
+    # arrangement: route dedup then matters alongside walk sharing.
+    gateway = [qps_system.random_origin(qrng) for _ in range(64)]
+    qps_origins = [gateway[i % len(gateway)] for i in range(n_queries)]
+
+    def retrieve_sequential() -> int:
+        total = 0
+        for o, q in zip(qps_origins, qps_queries):
+            total += retrieve(qps_system, o, q, None, patience=16).found
+        return total
+
+    def retrieve_batched() -> int:
+        return sum(
+            r.found
+            for r in retrieve_many(
+                qps_system, qps_origins, qps_queries, None, patience=16
+            )
+        )
+
     # Repair kernels: a replicated system with a 5% failure batch, then
     # one maintenance pass — dirty-set incremental vs full scan.  The
     # ratio is the O(affected)-vs-O(published) gap the RepairEngine
@@ -305,7 +383,12 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         "leafset_cached": leafset_all,
         "admission_check": admission_disabled_sends,
         "local_index_query": lambda: idx.query(q, 20),
+        "local_index_query_many": lambda: idx.query_many(many_qs, 20),
         "local_index_add": (lambda: LocalVsmIndex(4000), index_add_all),
+        "walk_order_cached": walk_order_hits,
+        "walk_order_rebuild": walk_order_rebuilds,
+        "retrieve_batch": retrieve_batched,
+        "retrieve_per_query": retrieve_sequential,
         "batch_publish": (prepare_publish, publish_batch),
         "batch_publish_tight": (prepare_publish_tight, publish_batch),
         "cascade_spill": (prepare_spill, publish_spill),

@@ -68,10 +68,19 @@ class Overlay(abc.ABC):
     failover behaviour.
     """
 
+    #: Cap on memoised walk orders; a flush at this size bounds memory
+    #: on huge query sweeps without ever serving a stale order.
+    _WALK_ORDER_CAP = 512
+
     def __init__(self, space: KeySpace, network: Network) -> None:
         self.space = space
         self.network = network
         self.ring = SortedKeyRing(space)
+        #: (node_id, direction) → materialised, liveness-UNFILTERED
+        #: visiting order.  Valid until ring membership changes; callers
+        #: filter liveness at consumption time, exactly as the routing
+        #: caches do (``fail()`` does not bump the membership epoch).
+        self._walk_orders: dict[tuple[int, str], list[int]] = {}
 
     # -- membership ----------------------------------------------------------
 
@@ -104,6 +113,9 @@ class Overlay(abc.ABC):
         except ValueError:
             self.ring.discard(node_id)
             raise
+        # Cleared here, not in _on_membership_change(): subclasses
+        # override the hook without calling super().
+        self._walk_orders.clear()
         self._on_membership_change()
         return node
 
@@ -111,6 +123,7 @@ class Overlay(abc.ABC):
         """Deregister a node entirely (distinct from failing it)."""
         self.ring.discard(node_id)
         node = self.network.remove_node(node_id)
+        self._walk_orders.clear()
         self._on_membership_change()
         return node
 
@@ -182,6 +195,57 @@ class Overlay(abc.ABC):
             if alive_only and not self.network.is_alive(nid):
                 continue
             yield nid
+
+    def walk_order(self, node_id: int, direction: str = "both") -> list[int]:
+        """The materialised similarity-walk frontier from ``node_id``.
+
+        ``direction="both"`` is the half-circle linear-distance order of
+        :meth:`closest_neighbors`; ``"up"``/``"down"`` step through
+        successors/predecessors and stop at the end of the key space
+        (the angle→key mapping is a half-circle, not a ring).
+
+        Memoised per (node, direction) until membership changes — the
+        same epoch trick as Tornado's leaf sets; the old per-query
+        recomputation dominated hot-home walk cost.  The returned list
+        is liveness-unfiltered and shared: callers must not mutate it,
+        and must skip dead nodes themselves (liveness can change without
+        a membership event).
+        """
+        cache_key = (node_id, direction)
+        cached = self._walk_orders.get(cache_key)
+        if cached is not None:
+            return cached
+        if direction == "both":
+            order = list(self.ring.neighbors_outward(node_id, wrap=False))
+        elif direction in ("up", "down"):
+            order = []
+            ring = self.ring
+            space = self.space
+            cur = node_id
+            seen = {node_id}
+            for _ in range(len(ring)):
+                nxt = (
+                    ring.successor(space.wrap(cur + 1))
+                    if direction == "up"
+                    else ring.predecessor(cur)
+                )
+                if nxt in seen:
+                    break
+                # Half-circle stop: a directional sweep ends at the
+                # extreme of the space instead of wrapping around.
+                if direction == "up" and nxt < cur:
+                    break
+                if direction == "down" and nxt > cur:
+                    break
+                cur = nxt
+                seen.add(cur)
+                order.append(cur)
+        else:
+            raise ValueError(f"unknown walk direction {direction!r}")
+        if len(self._walk_orders) >= self._WALK_ORDER_CAP:
+            self._walk_orders.clear()
+        self._walk_orders[cache_key] = order
+        return order
 
     def closest_neighbor(self, node_id: int, *, alive_only: bool = True) -> Optional[int]:
         """The single nearest neighbor in key order, or None."""

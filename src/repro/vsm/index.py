@@ -6,10 +6,14 @@ implements the plain vector-space answer: cosine ranking, optional
 exact keyword filtering, and the *least-similar* selection that drives
 the publish-side replacement policy.
 
-Nodes hold at most a few multiples of ``c`` items, so queries use a
-keyword→items inverted map to shortlist candidates and score only
-those (items sharing no keyword with the query have cosine 0 and never
-rank).
+Nodes hold at most a few multiples of ``c`` items, so scoring the
+whole node is cheap — and done in one vectorised pass over a cached
+CSR-style snapshot of the stored vectors (items sharing no keyword
+with the query score 0 and are filtered out, which is exactly what the
+old per-candidate inverted-map walk produced).  The same kernel serves
+single queries and :meth:`LocalVsmIndex.query_many`, the bulk entry
+point of the batch read path: scalar and batch rankings are identical
+by construction because they are the same computation.
 """
 
 from __future__ import annotations
@@ -38,6 +42,26 @@ class ScoredItem:
         return f"ScoredItem(id={self.item.item_id}, score={self.score:.4f})"
 
 
+class _ScoringArrays:
+    """CSR-style snapshot of every scorable stored item.
+
+    ``offsets`` are ``np.add.reduceat`` segment starts into the
+    concatenated ``keywords``/``weights`` arrays; items with an empty
+    keyword set or a zero norm are excluded (they can never score > 0,
+    and empty segments would corrupt the reduceat).
+    """
+
+    __slots__ = ("ids", "items", "keywords", "weights", "norms", "offsets")
+
+    def __init__(self, ids, items, keywords, weights, norms, offsets) -> None:
+        self.ids = ids
+        self.items = items
+        self.keywords = keywords
+        self.weights = weights
+        self.norms = norms
+        self.offsets = offsets
+
+
 class LocalVsmIndex:
     """Inverted-list VSM index over one node's stored items."""
 
@@ -48,6 +72,10 @@ class LocalVsmIndex:
         self._items: dict[int, StoredItem] = {}
         self._norms: dict[int, float] = {}
         self._postings: dict[int, set[int]] = {}
+        #: Lazily built scoring snapshot; any mutation invalidates it.
+        self._scoring: Optional[_ScoringArrays] = None
+        #: Reusable dim-sized dense scratch for query scatter/gather.
+        self._scratch: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -61,6 +89,7 @@ class LocalVsmIndex:
         """Index an item (idempotent per item id; re-add replaces)."""
         if item.item_id in self._items:
             self.remove(item.item_id)
+        self._scoring = None
         self._items[item.item_id] = item
         self._norms[item.item_id] = float(
             np.sqrt(np.dot(item.weights, item.weights))
@@ -86,6 +115,7 @@ class LocalVsmIndex:
         store half of the batch-publish fast path (a node receives its
         whole run of items in one call).
         """
+        self._scoring = None
         _items = self._items
         _norms = self._norms
         postings = self._postings
@@ -108,6 +138,7 @@ class LocalVsmIndex:
             item = self._items.pop(item_id)
         except KeyError:
             raise KeyError(f"item {item_id} not indexed") from None
+        self._scoring = None
         del self._norms[item_id]
         for k in item.keyword_ids.tolist():
             post = self._postings.get(k)
@@ -134,6 +165,7 @@ class LocalVsmIndex:
         self._items.clear()
         self._norms.clear()
         self._postings.clear()
+        self._scoring = None
         for item in items:
             self.add(item)
 
@@ -159,6 +191,89 @@ class LocalVsmIndex:
             out |= self._postings.get(int(k), set())
         return out
 
+    def _scoring_arrays(self) -> Optional[_ScoringArrays]:
+        """The cached CSR snapshot, rebuilt after any mutation."""
+        sc = self._scoring
+        if sc is not None:
+            return sc
+        ids: list[int] = []
+        items: list[StoredItem] = []
+        kws: list[np.ndarray] = []
+        wts: list[np.ndarray] = []
+        norms: list[float] = []
+        lens: list[int] = []
+        for item_id in sorted(self._items):
+            item = self._items[item_id]
+            norm = self._norms[item_id]
+            if norm == 0.0 or item.keyword_ids.size == 0:
+                continue
+            ids.append(item_id)
+            items.append(item)
+            kws.append(item.keyword_ids)
+            wts.append(item.weights)
+            norms.append(norm)
+            lens.append(item.keyword_ids.size)
+        if not ids:
+            return None
+        offsets = np.zeros(len(lens), dtype=np.int64)
+        np.cumsum(np.asarray(lens[:-1], dtype=np.int64), out=offsets[1:])
+        sc = _ScoringArrays(
+            np.asarray(ids, dtype=np.int64),
+            items,
+            np.concatenate(kws),
+            np.concatenate(wts),
+            np.asarray(norms, dtype=np.float64),
+            offsets,
+        )
+        self._scoring = sc
+        return sc
+
+    def _ranked(
+        self,
+        query: SparseVector,
+        limit: Optional[int],
+        require_all: Optional[Sequence[int]],
+        min_score: float,
+    ) -> list[ScoredItem]:
+        """One vectorised ranking pass — the shared scalar/batch kernel.
+
+        Scatters the query into a dense dim-sized scratch, gathers it
+        along the concatenated keyword array, and segment-sums per item
+        with ``np.add.reduceat``; every non-candidate item contributes
+        exact zeros and is dropped by the ``score > 0`` filter, so the
+        result set matches the old inverted-map shortlist.
+        """
+        qnorm = query.norm()
+        if qnorm == 0.0:
+            return []
+        sc = self._scoring_arrays()
+        if sc is None:
+            return []
+        scratch = self._scratch
+        if scratch is None:
+            scratch = self._scratch = np.zeros(self.dim, dtype=np.float64)
+        scratch[query.indices] = query.values
+        sums = np.add.reduceat(sc.weights * scratch[sc.keywords], sc.offsets)
+        scratch[query.indices] = 0.0
+        scores = sums / (sc.norms * qnorm)
+        keep = (scores > 0.0) & (scores >= min_score)
+        if require_all:
+            sets = [self._postings.get(int(k), set()) for k in require_all]
+            hit = set.intersection(*sets)
+            if not hit:
+                return []
+            keep &= np.isin(
+                sc.ids, np.fromiter(hit, dtype=np.int64, count=len(hit))
+            )
+        sel = np.nonzero(keep)[0]
+        if sel.size == 0:
+            return []
+        sel = sel[np.lexsort((sc.ids[sel], -scores[sel]))]
+        if limit is not None:
+            sel = sel[:limit]
+        items = sc.items
+        return [ScoredItem(items[i], float(scores[i])) for i in sel.tolist()]
+
     def query(
         self,
         query: SparseVector,
@@ -171,23 +286,39 @@ class LocalVsmIndex:
 
         ``require_all`` additionally filters to items containing every
         listed keyword (exact multi-keyword matching); ``min_score``
-        drops weak matches (a cosine-space τ threshold).
+        drops weak matches (a cosine-space τ threshold).  Runs through
+        the same vectorised kernel as :meth:`query_many`, so a batch of
+        queries and the equivalent scalar loop rank identically (scores
+        may differ from the old per-candidate dot product in the last
+        ulp — same tolerance ``add_many`` documents for norms).
         """
-        qnorm = query.norm()
-        scored: list[tuple[float, int, StoredItem]] = []
-        for item_id in self._candidates(query):
-            item = self._items[item_id]
-            if require_all is not None:
-                have = set(int(k) for k in item.keyword_ids)
-                if not all(int(k) in have for k in require_all):
-                    continue
-            s = self._score(item, query, qnorm)
-            if s > 0.0 and s >= min_score:
-                scored.append((s, item_id, item))
-        scored.sort(key=lambda t: (-t[0], t[1]))
-        if limit is not None:
-            scored = scored[:limit]
-        return [ScoredItem(item, s) for s, _, item in scored]
+        return self._ranked(query, limit, require_all, min_score)
+
+    def query_many(
+        self,
+        queries: Sequence[SparseVector],
+        limit: Optional[int] = None,
+        *,
+        require_all: Optional[Sequence[int]] = None,
+        min_score: float = 0.0,
+    ) -> list[list[ScoredItem]]:
+        """Rank many queries in one pass; element i equals ``query(queries[i])``.
+
+        The CSR snapshot and the dense scratch are built once and shared
+        across the batch, and queries with identical content are ranked
+        once and copied — the bulk-scoring half of the batch read path
+        (a thousand co-located queries must not cost a thousand
+        ``local_index_query`` calls).
+        """
+        memo: dict[tuple[bytes, bytes], list[ScoredItem]] = {}
+        out: list[list[ScoredItem]] = []
+        for q in queries:
+            ckey = (q.indices.tobytes(), q.values.tobytes())
+            cached = memo.get(ckey)
+            if cached is None:
+                cached = memo[ckey] = self._ranked(q, limit, require_all, min_score)
+            out.append(list(cached))
+        return out
 
     def least_similar(self, query: SparseVector) -> Optional[StoredItem]:
         """The stored item *least* similar to ``query`` — the replacement

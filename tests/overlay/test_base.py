@@ -98,3 +98,58 @@ class TestNeighborHelpers:
         assert set(out) == {100, 300, 500, 700}
         # 100 is nearest under wrap (distance 200 == 700's; tie upward).
         assert out[0] in (100, 700)
+
+
+class TestWalkOrderMemo:
+    """The memoised walk_order must match the lazy generators it replaced
+    and invalidate on every ring-membership change (fail() is NOT a
+    membership change — callers filter liveness themselves)."""
+
+    def test_both_matches_closest_neighbors(self):
+        ov = make_overlay()
+        for nid in (100, 500, 900):
+            assert ov.walk_order(nid) == list(
+                ov.closest_neighbors(nid, alive_only=False)
+            )
+
+    def test_directional_orders(self):
+        ov = make_overlay()
+        assert ov.walk_order(500, "up") == [700, 900]    # stops at space end
+        assert ov.walk_order(500, "down") == [300, 100]  # no wrap-around
+        assert ov.walk_order(900, "up") == []
+        assert ov.walk_order(100, "down") == []
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            make_overlay().walk_order(100, "sideways")
+
+    def test_cached_instance_returned(self):
+        ov = make_overlay()
+        assert ov.walk_order(300) is ov.walk_order(300)
+
+    def test_membership_change_invalidates(self):
+        ov = make_overlay()
+        before = ov.walk_order(100)
+        ov.add_node(200)
+        after = ov.walk_order(100)
+        assert after is not before
+        assert 200 in after
+        ov.remove_node(200)
+        assert 200 not in ov.walk_order(100)
+
+    def test_fail_does_not_invalidate(self):
+        ov = make_overlay()
+        order = ov.walk_order(100)
+        ov.node(300).fail()
+        assert ov.walk_order(100) is order  # dead node still listed
+        assert 300 in order
+
+    def test_cap_flush_bounds_memory(self):
+        ov = make_overlay()
+        ov._WALK_ORDER_CAP = 4
+        for nid in (100, 300, 500, 700, 900):
+            ov.walk_order(nid)
+        assert len(ov._walk_orders) <= 4 + 1
+        assert ov.walk_order(100) == list(
+            ov.closest_neighbors(100, alive_only=False)
+        )

@@ -112,6 +112,70 @@ class TestQuery:
         assert self.build().query(q) == []
 
 
+class TestQueryMany:
+    """query_many(queries)[i] must equal query(queries[i]) exactly — the
+    batch read path's bulk-scoring contract."""
+
+    def build(self, seed=0, n_items=30):
+        rng = np.random.default_rng(seed)
+        idx = LocalVsmIndex(DIM)
+        for iid in range(n_items):
+            k = int(rng.integers(1, 5))
+            kws = sorted(rng.choice(DIM, size=k, replace=False).tolist())
+            idx.add(item(iid, {kw: float(w) for kw, w in
+                             zip(kws, rng.uniform(0.2, 2.0, size=k))}))
+        return rng, idx
+
+    def rand_query(self, rng):
+        k = int(rng.integers(1, 4))
+        kws = rng.choice(DIM, size=k, replace=False).tolist()
+        return query(dict(zip(kws, rng.uniform(0.2, 2.0, size=k))))
+
+    def pairs(self, hits):
+        return [(h.item.item_id, h.score) for h in hits]
+
+    def test_matches_scalar_exactly(self):
+        rng, idx = self.build()
+        queries = [self.rand_query(rng) for _ in range(12)]
+        queries[5] = queries[0]  # duplicate content exercises the memo
+        for limit in (None, 3):
+            batch = idx.query_many(queries, limit=limit)
+            for q, hits in zip(queries, batch):
+                assert self.pairs(hits) == self.pairs(idx.query(q, limit=limit))
+
+    def test_matches_scalar_with_filters(self):
+        rng, idx = self.build(seed=3)
+        queries = [self.rand_query(rng) for _ in range(8)]
+        kw = int(queries[0].indices[0])
+        batch = idx.query_many(queries, require_all=[kw], min_score=0.1)
+        for q, hits in zip(queries, batch):
+            assert self.pairs(hits) == self.pairs(
+                idx.query(q, require_all=[kw], min_score=0.1)
+            )
+
+    def test_mutation_invalidates_snapshot(self):
+        rng, idx = self.build(seed=5)
+        q = self.rand_query(rng)
+        before = idx.query_many([q])[0]
+        assert self.pairs(before) == self.pairs(idx.query(q))
+        idx.add(item(999, {int(q.indices[0]): 5.0}))
+        after = idx.query_many([q])[0]
+        assert 999 in [h.item.item_id for h in after]
+        idx.remove(999)
+        again = idx.query_many([q])[0]
+        assert self.pairs(again) == self.pairs(before)
+
+    def test_duplicate_results_are_independent_lists(self):
+        rng, idx = self.build(seed=7)
+        q = self.rand_query(rng)
+        a, b = idx.query_many([q, q])
+        assert a is not b and self.pairs(a) == self.pairs(b)
+
+    def test_empty_batch_and_empty_index(self):
+        assert LocalVsmIndex(DIM).query_many([]) == []
+        assert LocalVsmIndex(DIM).query_many([query({1: 1.0})]) == [[]]
+
+
 class TestLeastSimilar:
     def test_picks_lowest_cosine(self):
         idx = LocalVsmIndex(DIM)

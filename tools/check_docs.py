@@ -1,0 +1,75 @@
+"""Docs ↔ code link check (CI gate).
+
+EXPERIMENTS.md names runnable experiments with the ``**Title
+(`id`).**`` convention; every such id must resolve in the
+``repro.experiments.ALL_EXPERIMENTS`` registry (which in turn means a
+module under ``src/repro/experiments/`` backs it).  Catches the drift
+where a doc entry outlives a renamed or deleted experiment — the
+failure mode the read-path documentation pass exists to prevent.
+
+Also verifies that every committed ``results/<id>.csv`` whose id is in
+the registry is indexed by ``results/manifest.json``, so the artifact
+directory stays discoverable.
+
+Run as ``python tools/check_docs.py`` from the repo root (CI does;
+``repro`` must be importable — ``pip install -e .`` or
+``PYTHONPATH=src``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: ``**X-BUILD (`buildscale`).**`` → ``buildscale``
+_ENTRY = re.compile(r"\*\*[^*\n]+\(`([a-z0-9_]+)`\)\.?\*\*")
+
+
+def main() -> int:
+    try:
+        from repro.experiments import ALL_EXPERIMENTS
+    except ImportError:
+        sys.path.insert(0, str(ROOT / "src"))
+        from repro.experiments import ALL_EXPERIMENTS
+
+    failed: list[str] = []
+
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    documented = set(_ENTRY.findall(text))
+    if not documented:
+        failed.append("EXPERIMENTS.md: no **Title (`id`).** entries found")
+    for exp_id in sorted(documented):
+        if exp_id not in ALL_EXPERIMENTS:
+            failed.append(
+                f"EXPERIMENTS.md documents `{exp_id}` but it is not in "
+                "repro.experiments.ALL_EXPERIMENTS"
+            )
+
+    manifest_path = ROOT / "results" / "manifest.json"
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+        for csv_path in sorted((ROOT / "results").glob("*.csv")):
+            exp_id = csv_path.stem
+            if exp_id in ALL_EXPERIMENTS and exp_id not in manifest:
+                failed.append(
+                    f"results/{csv_path.name} is committed but missing from "
+                    "results/manifest.json"
+                )
+
+    if failed:
+        for line in failed:
+            print(f"check_docs: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"check_docs: OK ({len(documented)} documented experiment ids, "
+        f"{len(ALL_EXPERIMENTS)} registered)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
