@@ -69,14 +69,57 @@ def test_tornado_route_latency(benchmark, space):
     assert hops > 0
 
 
+def _bench_items(rng, n=400):
+    return [
+        StoredItem(
+            i,
+            0,
+            0,
+            np.sort(rng.choice(4000, size=40, replace=False)).astype(np.int64),
+            rng.uniform(0.5, 3.0, 40),
+        )
+        for i in range(n)
+    ]
+
+
 def test_local_index_query(benchmark):
     rng = np.random.default_rng(1)
     idx = LocalVsmIndex(4000)
-    for i in range(400):
-        kws = np.sort(rng.choice(4000, size=40, replace=False)).astype(np.int64)
-        idx.add(StoredItem(i, 0, 0, kws, rng.uniform(0.5, 3.0, 40)))
+    for it in _bench_items(rng):
+        idx.add(it)
     from repro.vsm.sparse import SparseVector
 
     q = SparseVector.from_mapping({int(k): 1.0 for k in rng.choice(4000, 5, replace=False)}, 4000)
     hits = benchmark(idx.query, q, 20)
     assert isinstance(hits, list)
+
+
+def test_local_index_add_many(benchmark):
+    # The columnar store's primitive mutation: one block append for the
+    # whole 400-item workload (the scalar-add path is the obs-bench
+    # ``local_index_add`` kernel; this is its bulk counterpart).
+    items = _bench_items(np.random.default_rng(2))
+
+    def run():
+        idx = LocalVsmIndex(4000)
+        idx.add_many(items)
+        return len(idx)
+
+    assert benchmark(run) == len(items)
+
+
+def test_local_index_score_many(benchmark):
+    from repro.vsm.sparse import SparseVector
+
+    rng = np.random.default_rng(1)
+    idx = LocalVsmIndex(4000)
+    for it in _bench_items(rng):
+        idx.add(it)
+    queries = [
+        SparseVector.from_mapping(
+            {int(k): 1.0 for k in rng.choice(4000, 5, replace=False)}, 4000
+        )
+        for _ in range(64)
+    ]
+    ids, scores = benchmark(idx.score_many, queries)
+    assert scores.shape == (len(queries), len(ids))

@@ -289,9 +289,9 @@ def _reconcile(
             continue
         if removed:
             state = system.state(nid)
-            index = state.index
-            for iid in removed:
-                moved_norms[iid] = index.norm_of(iid)
+            moved_norms.update(
+                zip(removed, state.index.norms_of_many(removed))
+            )
             state.remove_many(removed)
             network.node(nid).evict_many(removed)
         plan.append((nid, removed, added))

@@ -21,7 +21,6 @@ The three placement schemes are exactly the paper's evaluation legend:
 
 from __future__ import annotations
 
-import bisect
 import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Literal, Optional, Sequence
@@ -130,64 +129,44 @@ class MeteorographConfig:
 
 
 class NodeState:
-    """Meteorograph-side state for one node: the local VSM index plus a
-    sorted (angle key, item id) ladder for O(log c) extreme lookups."""
+    """Meteorograph-side state for one node — a thin view over the
+    columnar :class:`LocalVsmIndex`, which owns both the inverted index
+    and the sorted (angle key, item id) ladder as a cached sorted view
+    of its angle-key column."""
 
-    __slots__ = ("index", "_ladder")
+    __slots__ = ("index",)
 
     def __init__(self, dim: int) -> None:
         self.index = LocalVsmIndex(dim)
-        self._ladder: list[tuple[int, int]] = []
 
     def add(self, item: StoredItem) -> None:
         # Re-adding an id the state already tracks (e.g. a displaced
         # primary landing on a node that holds its replica) replaces the
-        # old copy; inserting a second ladder tuple would leave a
-        # dangling entry behind after the next evict.
-        if item.item_id in self.index:
-            self.remove(item.item_id)
+        # old copy — the index's replacement semantics keep the ladder
+        # free of dangling entries.
         self.index.add(item)
-        bisect.insort(self._ladder, (item.angle_key, item.item_id))
 
     def add_many(
         self,
         items: Sequence[StoredItem],
         norms: Optional[Sequence[float]] = None,
     ) -> None:
-        """Bulk :meth:`add`: one index pass plus a single ladder re-sort.
+        """Bulk :meth:`add`: one columnar block append.
 
-        Equivalent to adding the items one at a time in any order (the
-        ladder is a sorted structure, so insertion order never shows).
+        Equivalent to adding the items one at a time in list order.
         ``norms`` optionally parallels ``items`` with precomputed
         Euclidean norms (see ``LocalVsmIndex.add_many``)."""
-        index = self.index
-        for item in items:
-            if item.item_id in index:
-                self.remove(item.item_id)
-        index.add_many(items, norms)
-        ladder = self._ladder
-        ladder.extend((it.angle_key, it.item_id) for it in items)
-        ladder.sort()
+        self.index.add_many(items, norms)
 
     def remove(self, item_id: int) -> StoredItem:
-        item = self.index.remove(item_id)
-        i = bisect.bisect_left(self._ladder, (item.angle_key, item_id))
-        if i < len(self._ladder) and self._ladder[i] == (item.angle_key, item_id):
-            del self._ladder[i]
-        return item
+        return self.index.remove(item_id)
 
     def remove_many(self, item_ids: Sequence[int]) -> list[StoredItem]:
-        """Bulk :meth:`remove`: one index pass plus a single ladder sweep.
-
-        Equivalent to removing the ids one at a time (each id has at most
-        one ladder entry by the :meth:`add` invariant).  Used by the
-        cascade reconcile, where a node may shed a large slice of its
-        ladder in one event."""
-        index = self.index
-        out = [index.remove(iid) for iid in item_ids]
-        gone = set(item_ids)
-        self._ladder = [e for e in self._ladder if e[1] not in gone]
-        return out
+        """Bulk :meth:`remove`; duplicate ids are removed once, and an
+        unknown id raises ``KeyError`` before anything is mutated.  Used
+        by the cascade reconcile, where a node may shed a large slice of
+        its ladder in one event."""
+        return self.index.remove_many(item_ids)
 
     def snapshot(self) -> tuple[list[tuple[int, int]], dict[int, StoredItem]]:
         """(ladder copy, id → item copy) for shadow-state seeding.
@@ -195,19 +174,19 @@ class NodeState:
         The copies are independent of this state: the cascade engine
         mutates them freely and reconciles net diffs back through
         :meth:`remove_many` / :meth:`add_many`."""
-        return list(self._ladder), self.index.items_by_id()
+        return list(self.index.angle_ladder()), self.index.items_by_id()
 
     def min_angle_item(self) -> Optional[StoredItem]:
-        if not self._ladder:
+        ladder = self.index.angle_ladder()
+        if not ladder:
             return None
-        _, item_id = self._ladder[0]
-        return self.index._items[item_id]  # noqa: SLF001 - hot path accessor
+        return self.index.item(ladder[0][1])
 
     def max_angle_item(self) -> Optional[StoredItem]:
-        if not self._ladder:
+        ladder = self.index.angle_ladder()
+        if not ladder:
             return None
-        _, item_id = self._ladder[-1]
-        return self.index._items[item_id]  # noqa: SLF001 - hot path accessor
+        return self.index.item(ladder[-1][1])
 
 
 class Meteorograph:

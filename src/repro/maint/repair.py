@@ -69,6 +69,10 @@ class RepairEngine:
         #: dead nodes are retained (their items resurface on recovery)
         #: and dropped only on permanent removal.
         self.holder_index: dict[int, set[int]] = {}
+        #: item id -> credited holders: the transpose of
+        #: ``holder_index``, kept in lockstep so :meth:`holders_of` is
+        #: O(holders) instead of a walk over every node's held set.
+        self._item_holders: dict[int, set[int]] = {}
         #: item ids whose live copy count may have changed.
         self.dirty: set[int] = set()
         #: item id -> record-insertion rank; ticks repair dirty items in
@@ -92,6 +96,7 @@ class RepairEngine:
             self._next_rank += 1
             for holder in record.holders:
                 self.holder_index.setdefault(holder, set()).add(item_id)
+                self._item_holders.setdefault(item_id, set()).add(holder)
         self.manager.on_copy_placed = self._on_copy_placed
         self.manager.on_under_replicated = self._mark_dirty
         self.system.network.subscribe_liveness(self._on_liveness)
@@ -111,6 +116,7 @@ class RepairEngine:
             self._order[item_id] = self._next_rank
             self._next_rank += 1
         self.holder_index.setdefault(node_id, set()).add(item_id)
+        self._item_holders.setdefault(item_id, set()).add(node_id)
 
     def _mark_dirty(self, item_id: int) -> None:
         self.dirty.add(item_id)
@@ -121,6 +127,10 @@ class RepairEngine:
     def _on_liveness(self, node_id: int, change: str) -> None:
         if change == "remove":
             held = self.holder_index.pop(node_id, None)
+            if held:
+                holders = self._item_holders
+                for item_id in held:
+                    holders[item_id].discard(node_id)
         else:  # "fail" or "recover": copies stay on disk either way
             held = self.holder_index.get(node_id)
         if not held:
@@ -189,9 +199,7 @@ class RepairEngine:
 
     def holders_of(self, item_id: int) -> set[int]:
         """Nodes the index currently credits with a copy of ``item_id``."""
-        return {
-            nid for nid, items in self.holder_index.items() if item_id in items
-        }
+        return set(self._item_holders.get(item_id, ()))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -62,7 +62,9 @@ _LOOPS = {
     "admission_check": 50,
     "local_index_query": 50,
     "local_index_query_many": 5,
+    "local_index_score_many": 5,
     "local_index_add": 5,
+    "local_index_add_many": 20,
     "walk_order_cached": 50,
     "walk_order_rebuild": 5,
     "retrieve_batch": 1,
@@ -133,9 +135,10 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         {int(k): 1.0 for k in idx_rng.choice(4000, 5, replace=False)}, 4000
     )
 
-    # Index-build kernel: the same 400-item workload the query kernel
-    # searches, but timing the posting-list inserts themselves (the
-    # per-keyword loop the ``.tolist()`` unboxing fix targets).
+    # Index-build kernels: the same 400-item workload the query kernel
+    # searches, timed as 400 scalar row appends (``local_index_add``)
+    # and as one columnar block append (``local_index_add_many``) — the
+    # scalar/bulk pair of the SoA store's primitive mutation.
     add_rng = np.random.default_rng(2)
     add_items = [
         StoredItem(
@@ -151,6 +154,10 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
     def index_add_all(index) -> int:
         for it in add_items:
             index.add(it)
+        return len(add_items)
+
+    def index_add_many(index) -> int:
+        index.add_many(add_items)
         return len(add_items)
 
     def route_all() -> int:
@@ -384,7 +391,9 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         "admission_check": admission_disabled_sends,
         "local_index_query": lambda: idx.query(q, 20),
         "local_index_query_many": lambda: idx.query_many(many_qs, 20),
+        "local_index_score_many": lambda: idx.score_many(many_qs),
         "local_index_add": (lambda: LocalVsmIndex(4000), index_add_all),
+        "local_index_add_many": (lambda: LocalVsmIndex(4000), index_add_many),
         "walk_order_cached": walk_order_hits,
         "walk_order_rebuild": walk_order_rebuilds,
         "retrieve_batch": retrieve_batched,
