@@ -324,6 +324,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --check: also fail if the run took longer than this",
     )
 
+    lsh = sub.add_parser(
+        "lsh",
+        help="compare cosine-LSH naming against the equal-storage "
+        "absolute-angle baseline on one frontier cell; verify scalar and "
+        "batch multi-probe agree",
+    )
+    lsh.add_argument("--items", type=int, default=4000, help="corpus size")
+    lsh.add_argument("--nodes", type=int, default=200, help="overlay size")
+    lsh.add_argument(
+        "--queries", type=int, default=60, help="sampled query count"
+    )
+    lsh.add_argument("--k", type=int, default=10, help="recall@k cutoff")
+    lsh.add_argument("--bands", type=int, default=4, help="LSH bands (L)")
+    lsh.add_argument(
+        "--band-bits", type=int, default=7, help="hyperplanes per band (k)"
+    )
+    lsh.add_argument(
+        "--probe-width",
+        type=int,
+        default=2,
+        help="ring-adjacent buckets probed per band",
+    )
+    lsh.add_argument("--seed", type=int, default=624, help="run RNG seed")
+    lsh.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless scalar and batch multi-probe return "
+        "identical items and messages, and LSH recall@k >= the "
+        "equal-storage baseline (CI smoke)",
+    )
+    lsh.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="with --check: also fail if the run took longer than this",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="time the micro-kernels; write or compare BENCH_*.json snapshots",
@@ -399,6 +436,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_build(args)
     if args.command == "qps":
         return _cmd_qps(args)
+    if args.command == "lsh":
+        return _cmd_lsh(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
@@ -819,6 +858,103 @@ def _cmd_qps(args) -> int:
             print("qps --check FAILED: " + "; ".join(failed), file=sys.stderr)
             return 1
         print("qps --check OK")
+    return 0
+
+
+def _cmd_lsh(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .core import PlacementScheme
+    from .experiments.common import build_system, publish_all
+    from .experiments.lshfrontier import exact_top_k, frontier_cell
+    from .lsh.probe import multi_probe_retrieve, multi_probe_retrieve_many
+    from .workload import WorldCupParams, generate_trace
+
+    t0 = time.perf_counter()
+    trace = generate_trace(
+        WorldCupParams(n_items=args.items, n_keywords=max(100, args.items // 5)),
+        seed=19980724,
+    )
+    corpus = trace.corpus
+    L, width = args.bands, args.probe_width
+    budget = L * (1 + width)
+    qrng = np.random.default_rng(args.seed)
+    qids = qrng.choice(corpus.n_items, size=min(args.queries, corpus.n_items),
+                       replace=False)
+    storm = [corpus.vector(int(i)) for i in np.sort(qids)]
+    truths = [exact_top_k(corpus, q, args.k) for q in storm]
+
+    base = build_system(
+        trace, args.nodes, PlacementScheme.UNUSED_HASH,
+        rng=np.random.default_rng(args.seed), replication_factor=L,
+    )
+    publish_all(base, trace, np.random.default_rng(args.seed + 1))
+    orng = np.random.default_rng(args.seed + 2)
+    base_origins = [base.random_origin(orng) for _ in storm]
+    b = frontier_cell(base, storm, truths, base_origins, args.k,
+                      lsh=False, visit_budget=budget)
+
+    lsh_sys = build_system(
+        trace, args.nodes, PlacementScheme.NONE,
+        rng=np.random.default_rng(args.seed),
+        naming_scheme="cosine-lsh", lsh_bands=L, lsh_band_bits=args.band_bits,
+        lsh_seed=args.seed, lsh_probe_width=width,
+    )
+    publish_all(lsh_sys, trace, np.random.default_rng(args.seed + 1))
+    orng = np.random.default_rng(args.seed + 2)
+    lsh_origins = [lsh_sys.random_origin(orng) for _ in storm]
+    c = frontier_cell(lsh_sys, storm, truths, lsh_origins, args.k,
+                      lsh=True, visit_budget=budget)
+
+    # Scalar vs batch multi-probe: the equivalence contract, end to end.
+    scalar = [
+        multi_probe_retrieve(lsh_sys, o, q, args.k)
+        for o, q in zip(lsh_origins, storm)
+    ]
+    batch = multi_probe_retrieve_many(lsh_sys, lsh_origins, storm, args.k)
+    items_identical = all(
+        s.item_ids() == r.item_ids() for s, r in zip(scalar, batch)
+    )
+    messages_identical = all(
+        s.messages == r.messages for s, r in zip(scalar, batch)
+    )
+    elapsed = time.perf_counter() - t0
+    print(
+        f"[lsh] nodes {args.nodes}, items {args.items}, {len(storm)} queries, "
+        f"L={L}, k_bits={args.band_bits}, W={width} "
+        f"(budget: {L}x storage, {budget} visits/query)"
+    )
+    print(
+        f"absolute-angle: recall@{args.k} {b['recall']:.3f}, "
+        f"{b['messages']:.1f} msgs/query, {b['stored']} stored"
+    )
+    print(
+        f"cosine-lsh:     recall@{args.k} {c['recall']:.3f}, "
+        f"{c['messages']:.1f} msgs/query, {c['stored']} stored"
+    )
+    print(
+        f"multi-probe scalar==batch: items {items_identical}, "
+        f"messages {messages_identical}, in {elapsed:.2f}s"
+    )
+    if args.check:
+        failed = []
+        if not items_identical:
+            failed.append("batch multi-probe items differ from scalar")
+        if not messages_identical:
+            failed.append("batch multi-probe message bill differs from scalar")
+        if c["recall"] < b["recall"]:
+            failed.append(
+                f"LSH recall {c['recall']:.3f} < baseline {b['recall']:.3f} "
+                "at equal storage"
+            )
+        if args.max_seconds is not None and elapsed > args.max_seconds:
+            failed.append(f"runtime {elapsed:.2f}s > {args.max_seconds}s")
+        if failed:
+            print("lsh --check FAILED: " + "; ".join(failed), file=sys.stderr)
+            return 1
+        print("lsh --check OK")
     return 0
 
 

@@ -126,6 +126,24 @@ class MeteorographConfig:
     #: :mod:`repro.overload` and DESIGN.md, "Overload protection").
     #: None (default) = no admission control, zero hot-path cost.
     overload_policy: Optional["OverloadPolicy"] = None
+    #: Naming family (DESIGN.md, "Naming schemes").  ``"absolute-angle"``
+    #: is the paper's Eq. 1–5 (+ Eq. 6 per placement scheme) path —
+    #: bit-identical to the pre-seam code.  ``"cosine-lsh"`` switches to
+    #: :class:`repro.lsh.CosineLshScheme`: L band keys per item
+    #: (storage budget = L×) and multi-probe retrieval; it requires
+    #: ``scheme=NONE`` (the Eq. 6 remap would scramble band regions),
+    #: no directory pointers, and no replication (the L band copies ARE
+    #: the redundancy budget).
+    naming_scheme: Literal["absolute-angle", "cosine-lsh"] = "absolute-angle"
+    #: L — bands (publish keys per item) for ``cosine-lsh``.
+    lsh_bands: int = 4
+    #: k — hyperplanes (signature bits) per band.
+    lsh_band_bits: int = 8
+    #: Hyperplane seed (deterministic across processes).
+    lsh_seed: int = 0
+    #: Ring-adjacent buckets probed per band on retrieve, on top of the
+    #: band's home bucket (NearBucket walk width).
+    lsh_probe_width: int = 2
 
 
 class NodeState:
@@ -214,7 +232,43 @@ class Meteorograph:
         self.first_hop = first_hop
         self._states: dict[int, NodeState] = {}
         #: item id → (angle key, publish key) for everything published.
+        #: Multi-key schemes record the band-0 publish key (the
+        #: canonical copy ``find`` routes to).
         self._published: dict[int, tuple[int, int]] = {}
+        #: The naming seam: every key this facade hands out comes from
+        #: here (see :mod:`repro.lsh.scheme`).  Imported lazily so the
+        #: ``repro.core`` import graph stays acyclic.
+        if config.naming_scheme == "cosine-lsh":
+            if config.scheme is not PlacementScheme.NONE:
+                raise ValueError(
+                    "cosine-lsh requires scheme=NONE: the Eq. 6 remap "
+                    "would scramble the disjoint band regions"
+                )
+            if config.directory_pointers:
+                raise ValueError("cosine-lsh does not support directory pointers")
+            if config.replication_factor > 1:
+                raise ValueError(
+                    "cosine-lsh does not compose with replication: the L "
+                    "band copies are the redundancy budget"
+                )
+            from ..lsh.bands import CosineLshScheme
+
+            self.naming = CosineLshScheme(
+                space,
+                dim,
+                bands=config.lsh_bands,
+                band_bits=config.lsh_band_bits,
+                seed=config.lsh_seed,
+                metrics=network.obs.metrics,
+            )
+        elif config.naming_scheme == "absolute-angle":
+            from ..lsh.scheme import AbsoluteAngleScheme
+
+            self.naming = AbsoluteAngleScheme(
+                space, dim, equalizer=equalizer, metrics=network.obs.metrics
+            )
+        else:
+            raise ValueError(f"unknown naming scheme {config.naming_scheme!r}")
         self.replication: Optional[ReplicationManager] = (
             ReplicationManager(self, config.replication_factor)
             if config.replication_factor > 1
@@ -358,12 +412,19 @@ class Meteorograph:
     # ------------------------------------------------------------------- keys
 
     def item_keys(self, keyword_ids: np.ndarray, weights: np.ndarray) -> tuple[int, int]:
-        """(angle key, publish key) of one item vector."""
-        theta = absolute_angle_from_arrays(np.asarray(weights, dtype=np.float64), self.dim)
-        angle_key = angle_to_key(theta, self.space)
-        if self.equalizer is not None:
-            return angle_key, self.equalizer.remap(angle_key)
-        return angle_key, angle_key
+        """(angle key, primary publish key) of one item vector.
+
+        Multi-key schemes publish to :meth:`item_keys_all`'s full list;
+        this keeps the historical single-key view (band 0).
+        """
+        angle_key, publish_keys = self.naming.keys_for(keyword_ids, weights)
+        return angle_key, publish_keys[0]
+
+    def item_keys_all(
+        self, keyword_ids: np.ndarray, weights: np.ndarray
+    ) -> tuple[int, list[int]]:
+        """(angle key, all ``naming.n_keys`` publish keys) of one item."""
+        return self.naming.keys_for(keyword_ids, weights)
 
     def corpus_keys(
         self,
@@ -372,7 +433,8 @@ class Meteorograph:
         chunk_rows: Optional[int] = None,
         workers: Optional[int] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorised :meth:`item_keys` over a corpus.
+        """Vectorised :meth:`item_keys` over a corpus (primary keys only;
+        see :meth:`corpus_keys_multi` for the full key matrix).
 
         Corpora larger than :data:`repro.core.angles.DEFAULT_CHUNK_ROWS`
         rows stream the angle pass in chunks automatically (bounded
@@ -380,20 +442,27 @@ class Meteorograph:
         chunk size (or a value ≥ the corpus to force the whole-corpus
         pass) and ``workers`` to fan chunks over a process pool.
         """
+        angle_keys, key_mat = self.corpus_keys_multi(
+            corpus, chunk_rows=chunk_rows, workers=workers
+        )
+        return angle_keys, key_mat[:, 0]
+
+    def corpus_keys_multi(
+        self,
+        corpus: Corpus,
+        *,
+        chunk_rows: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(angle keys ``(n,)``, publish keys ``(n, naming.n_keys)``) —
+        the scheme's full fan-out, chunk-streamed like :meth:`corpus_keys`."""
         if corpus.dim != self.dim:
             raise ValueError(f"corpus dim {corpus.dim} != system dim {self.dim}")
         if chunk_rows is None and corpus.n_items > DEFAULT_CHUNK_ROWS:
             chunk_rows = DEFAULT_CHUNK_ROWS
-        obs = self.network.obs
-        with obs.metrics.timer("kernel.angles"):
-            angle_keys = corpus_to_keys(
-                corpus, self.space, chunk_rows=chunk_rows, workers=workers
-            )
-        if self.equalizer is not None:
-            with obs.metrics.timer("kernel.remap"):
-                publish_keys = self.equalizer.remap_many(angle_keys)
-            return angle_keys, publish_keys
-        return angle_keys, angle_keys.copy()
+        return self.naming.corpus_to_keys(
+            corpus, chunk_rows=chunk_rows, workers=workers
+        )
 
     def query_angle_key(self, query: SparseVector) -> int:
         """Eq. 5 key of a query vector."""
@@ -401,9 +470,9 @@ class Meteorograph:
         return angle_to_key(theta, self.space)
 
     def query_key(self, query: SparseVector) -> int:
-        """The query's key in publish space (angle key, remapped if active)."""
-        k = self.query_angle_key(query)
-        return self.equalizer.remap(k) if self.equalizer is not None else k
+        """The query's primary key in publish space (the first probe key;
+        multi-key schemes probe ``naming.probe_keys_for`` in full)."""
+        return self.naming.probe_keys_for(query)[0]
 
     # -------------------------------------------------------------- node state
 
@@ -516,22 +585,36 @@ class Meteorograph:
         payload: object = None,
         hop_budget: Optional[int] = "config",  # type: ignore[assignment]
     ) -> PublishResult:
-        """Publish one item from ``origin`` (Fig. 2 ``_publish``)."""
+        """Publish one item from ``origin`` (Fig. 2 ``_publish``).
+
+        Under a multi-key scheme the item is published once per band key
+        (L routed copies — the explicit L× storage/message budget); the
+        returned result is the band-0 publish.
+        """
         budget = self.config.hop_budget if hop_budget == "config" else hop_budget
         kw = np.asarray(keyword_ids, dtype=np.int64)
         w = np.asarray(weights, dtype=np.float64)
-        result = publish_item(
-            self,
-            origin,
-            item_id,
-            kw,
-            w,
-            payload=payload,
-            hop_budget=budget,
-            policy=self.config.replacement_policy,
-        )
-        angle_key, publish_key = self.item_keys(kw, w)
-        self.register_published(item_id, angle_key, publish_key)
+        angle_key, publish_keys = self.naming.keys_for(kw, w)
+        result: Optional[PublishResult] = None
+        for pk in publish_keys:
+            res = publish_item(
+                self,
+                origin,
+                item_id,
+                kw,
+                w,
+                payload=payload,
+                hop_budget=budget,
+                policy=self.config.replacement_policy,
+                precomputed_keys=(angle_key, int(pk)),
+            )
+            if result is None:
+                result = res
+        if len(publish_keys) > 1:
+            metrics = self.network.obs.metrics
+            metrics.counter("lsh.publish.items", 1)
+            metrics.counter("lsh.publish.copies", len(publish_keys))
+        self.register_published(item_id, angle_key, int(publish_keys[0]))
         return result
 
     def publish_vector(
@@ -572,10 +655,17 @@ class Meteorograph:
         ``cascade`` selects the finite-capacity placement engine (see
         :func:`repro.core.publish.batch_publish`); ``chunk_rows`` /
         ``workers`` stream the key pipeline (see :meth:`corpus_keys`).
+
+        Under a multi-key scheme every row fans out to its L band keys
+        — n·L placements through the same engines, with the L× budget
+        surfaced on the ``lsh.publish.*`` counters.  The returned list
+        still has one entry per row (the band-0 result).
         """
-        angle_keys, publish_keys = self.corpus_keys(
+        angle_keys, key_mat = self.corpus_keys_multi(
             corpus, chunk_rows=chunk_rows, workers=workers
         )
+        publish_keys = key_mat[:, 0]
+        n_keys = self.naming.n_keys
         ids = (
             np.arange(corpus.n_items, dtype=np.int64)
             if item_ids is None
@@ -591,20 +681,46 @@ class Meteorograph:
             raise ValueError(
                 "batch publish supports neither directory pointers nor replication"
             )
+        if n_keys > 1:
+            metrics = self.network.obs.metrics
+            metrics.counter("lsh.publish.items", corpus.n_items)
+            metrics.counter("lsh.publish.copies", corpus.n_items * n_keys)
         if can_batch if batch is None else batch:
             ids_l = ids.tolist()
-            pk_l = publish_keys.tolist()
             ak_l = angle_keys.tolist()
-            items = [
-                StoredItem(
-                    item_id=ids_l[i],
-                    publish_key=pk_l[i],
-                    angle_key=ak_l[i],
-                    keyword_ids=kw,
-                    weights=np.asarray(w, dtype=np.float64),
-                )
-                for i, kw, w in corpus.row_slices()
-            ]
+            if n_keys == 1:
+                pk_l = publish_keys.tolist()
+                items = [
+                    StoredItem(
+                        item_id=ids_l[i],
+                        publish_key=pk_l[i],
+                        angle_key=ak_l[i],
+                        keyword_ids=kw,
+                        weights=np.asarray(w, dtype=np.float64),
+                    )
+                    for i, kw, w in corpus.row_slices()
+                ]
+                flat_keys = publish_keys
+                norms = corpus.norms()
+            else:
+                # Item-major fan-out: row i becomes L StoredItems (one
+                # per band key) sharing the row's keyword/weight arrays.
+                km_l = key_mat.tolist()
+                items = []
+                for i, kw, w in corpus.row_slices():
+                    w = np.asarray(w, dtype=np.float64)
+                    items.extend(
+                        StoredItem(
+                            item_id=ids_l[i],
+                            publish_key=pk,
+                            angle_key=ak_l[i],
+                            keyword_ids=kw,
+                            weights=w,
+                        )
+                        for pk in km_l[i]
+                    )
+                flat_keys = key_mat.reshape(-1)
+                norms = np.repeat(corpus.norms(), n_keys)
             src = origin if origin is not None else alive[int(rng.integers(0, len(alive)))]
             results = batch_publish(
                 self,
@@ -612,30 +728,38 @@ class Meteorograph:
                 origin=src,
                 hop_budget=self.config.hop_budget,
                 policy=self.config.replacement_policy,
-                keys=publish_keys,
-                norms=corpus.norms(),
+                keys=flat_keys,
+                norms=norms,
                 cascade=cascade,
             )
             self.register_published_many(ids, angle_keys, publish_keys)
-            return results
+            if n_keys == 1:
+                return results
+            # One result per row: the band-0 copy's placement.
+            return results[::n_keys]
         origins = (
             rng.integers(0, len(alive), size=corpus.n_items)
             if origin is None
             else None
         )
+        km_l = key_mat.tolist()
         results = []
         for row, (i, kw, w) in enumerate(corpus.row_slices()):
             src = origin if origin is not None else alive[int(origins[row])]
-            res = publish_item(
-                self,
-                src,
-                int(ids[i]),
-                kw,
-                w,
-                hop_budget=self.config.hop_budget,
-                policy=self.config.replacement_policy,
-                precomputed_keys=(int(angle_keys[i]), int(publish_keys[i])),
-            )
+            res = None
+            for pk in km_l[i]:
+                r = publish_item(
+                    self,
+                    src,
+                    int(ids[i]),
+                    kw,
+                    w,
+                    hop_budget=self.config.hop_budget,
+                    policy=self.config.replacement_policy,
+                    precomputed_keys=(int(angle_keys[i]), int(pk)),
+                )
+                if res is None:
+                    res = r
             self.register_published(int(ids[i]), int(angle_keys[i]), int(publish_keys[i]))
             results.append(res)
         return results
@@ -654,7 +778,19 @@ class Meteorograph:
         With ``use_first_hop`` the §3.5.1 start key is taken from the
         bootstrap sample and the walk sweeps upward through the band.
         With directory pointers configured, the §3.5.2 protocol is used.
+        Under a multi-key naming scheme the query multi-probes every
+        band (see :mod:`repro.lsh.probe`); first-hop selection does not
+        compose with it (start keys live in angle space, not band space).
         """
+        if self.naming.n_keys > 1:
+            if use_first_hop:
+                raise RuntimeError(
+                    "first-hop selection does not compose with multi-key "
+                    "naming schemes"
+                )
+            from ..lsh.probe import multi_probe_retrieve
+
+            return multi_probe_retrieve(self, origin, query, amount, **kwargs)
         if use_first_hop:
             if self.first_hop is None:
                 raise RuntimeError("no first-hop selector (no sample at build time)")
@@ -711,6 +847,15 @@ class Meteorograph:
                 raise ValueError(
                     f"{len(origins)} origins for {len(queries)} queries"
                 )
+        if self.naming.n_keys > 1:
+            if use_first_hop:
+                raise RuntimeError(
+                    "first-hop selection does not compose with multi-key "
+                    "naming schemes"
+                )
+            from ..lsh.probe import multi_probe_retrieve_many
+
+            return multi_probe_retrieve_many(self, origins, queries, amount, **kwargs)
         if not use_first_hop:
             return retrieve_many(self, origins, queries, amount, **kwargs)
         if self.first_hop is None:

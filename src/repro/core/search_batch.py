@@ -82,9 +82,15 @@ def _sequential(
     queries: Sequence[SparseVector],
     amount: Optional[int],
     kwargs: dict,
+    start_keys: Optional[Sequence[int]] = None,
 ) -> list[RetrieveResult]:
     fn = retrieve_with_pointers if system.config.directory_pointers else retrieve
-    return [fn(system, o, q, amount, **kwargs) for o, q in zip(origins, queries)]
+    if start_keys is None:
+        return [fn(system, o, q, amount, **kwargs) for o, q in zip(origins, queries)]
+    return [
+        fn(system, o, q, amount, **{**kwargs, "start_key": int(k)})
+        for o, q, k in zip(origins, queries, start_keys)
+    ]
 
 
 def _harvest(
@@ -126,20 +132,30 @@ def retrieve_many(
     patience: int = 8,
     max_walk: Optional[int] = None,
     start_key: Optional[int] = None,
+    start_keys: Optional[Sequence[int]] = None,
     direction: Direction = "both",
 ) -> list[RetrieveResult]:
     """Run many retrieves as one shared sweep; results element-wise equal
     to ``[retrieve(system, o_i, q_i, amount, ...) for i]``.
 
     ``origin`` is a single node id applied to every query, or one id per
-    query.  All other knobs are shared across the batch (bucket by knob
-    and call once per bucket to vary them — that is what the facade's
-    ``Meteorograph.retrieve_many`` does for first-hop start keys).
+    query.  ``start_keys`` gives one start key per query (the multi-probe
+    engine sends each query to its own band bucket); ``start_key`` is the
+    shared-scalar form, mutually exclusive with it.  All other knobs are
+    shared across the batch (bucket by knob and call once per bucket to
+    vary them — that is what the facade's ``Meteorograph.retrieve_many``
+    does for first-hop start keys).
     """
     if amount is not None and amount < 1:
         raise ValueError(f"amount must be >= 1 or None, got {amount}")
     if patience < 1:
         raise ValueError(f"patience must be >= 1, got {patience}")
+    if start_key is not None and start_keys is not None:
+        raise ValueError("pass start_key or start_keys, not both")
+    if start_keys is not None and len(start_keys) != len(queries):
+        raise ValueError(
+            f"{len(start_keys)} start_keys for {len(queries)} queries"
+        )
     if isinstance(origin, (int, np.integer)):
         origins = [int(origin)] * len(queries)
     else:
@@ -165,7 +181,7 @@ def retrieve_many(
         or system.replication is not None
         or system.config.retry_policy is not None
     ):
-        return _sequential(system, origins, queries, amount, kwargs)
+        return _sequential(system, origins, queries, amount, kwargs, start_keys)
 
     network = system.network
     obs = network.obs
@@ -175,13 +191,26 @@ def retrieve_many(
         "retrieve_batch", queries=len(queries), amount=amount
     ) as sp:
         with metrics.timer("kernel.retrieve_batch"):
-            # -- 1. dedup: one group per unique (origin, content) -------
+            # -- 1. dedup: one group per unique (origin, key, content) --
+            # The key joins the group identity because per-query
+            # ``start_keys`` can send identical content to different
+            # band buckets; content-only query_key resolution is still
+            # memoised so duplicates cost one key computation.
             groups: dict[tuple, _Group] = {}
+            qkey_memo: dict[tuple, int] = {}
             for i, (o, q) in enumerate(zip(origins, queries)):
-                gkey = (o, q.indices.tobytes(), q.values.tobytes())
+                content = (q.indices.tobytes(), q.values.tobytes())
+                if start_keys is not None:
+                    key = int(start_keys[i])
+                elif start_key is not None:
+                    key = start_key
+                else:
+                    key = qkey_memo.get(content)
+                    if key is None:
+                        key = qkey_memo[content] = system.query_key(q)
+                gkey = (o, key, content)
                 g = groups.get(gkey)
                 if g is None:
-                    key = start_key if start_key is not None else system.query_key(q)
                     g = groups[gkey] = _Group(o, q, key)
                 g.members.append(i)
 

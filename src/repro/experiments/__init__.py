@@ -25,9 +25,11 @@ from .queryload import run_query_load
 from .overload import run_overload, storm_cell
 from .buildscale import run_build_scale
 from .qps import run_qps, qps_cell, qps_storm
+from .lshfrontier import run_lsh_frontier
 
 ALL_EXPERIMENTS = {
     "buildscale": run_build_scale,
+    "lsh": run_lsh_frontier,
     "qps": run_qps,
     "queryload": run_query_load,
     "overload": run_overload,
@@ -92,5 +94,6 @@ __all__ = [
     "run_qps",
     "qps_cell",
     "qps_storm",
+    "run_lsh_frontier",
     "ALL_EXPERIMENTS",
 ]

@@ -1,0 +1,34 @@
+"""Multi-band LSH naming — the pluggable alternative to Eq. 1–5.
+
+The paper collapses every vector to one absolute angle, which is what
+lets everything live on one ring — and also its recall ceiling for
+high-dimensional corpora (the map is a many-to-one projection to a
+single scalar).  This package provides the naming *seam* and the
+cosine-LSH family behind it:
+
+* :mod:`repro.lsh.scheme` — the :class:`NamingScheme` protocol and
+  :class:`AbsoluteAngleScheme`, the paper's path refactored behind the
+  seam (bit-identical to the pre-seam facade code);
+* :mod:`repro.lsh.bands` — :class:`CosineLshScheme`, L bands of k
+  signed random hyperplanes mapping each item to L keys in disjoint
+  regions of the one key space;
+* :mod:`repro.lsh.probe` — NearBucket multi-probe retrieval: probe the
+  home bucket plus leaf-set-adjacent buckets per band, union the bands,
+  rescore globally.
+
+See DESIGN.md, "Naming schemes", and the X-LSH experiment
+(``experiments/lshfrontier.py``) for the measured quality/cost
+frontier.
+"""
+
+from .scheme import AbsoluteAngleScheme, NamingScheme
+from .bands import CosineLshScheme
+from .probe import multi_probe_retrieve, multi_probe_retrieve_many
+
+__all__ = [
+    "NamingScheme",
+    "AbsoluteAngleScheme",
+    "CosineLshScheme",
+    "multi_probe_retrieve",
+    "multi_probe_retrieve_many",
+]

@@ -76,6 +76,8 @@ _LOOPS = {
     "publish_per_item": 1,
     "repair_tick_incremental": 1,
     "repair_full_scan": 1,
+    "lsh_signatures": 3,
+    "multi_probe_retrieve": 1,
 }
 
 
@@ -381,6 +383,43 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         system, _ = state
         return system.replication.repair()
 
+    # LSH kernels: the banded signature sweep (the cosine-LSH write
+    # path's one dense kernel — a CSR × hyperplane projection plus bit
+    # packing) and the NearBucket multi-probe read path: 64 corpus-row
+    # queries against a published 4-band ring, each spending the
+    # L·(1 + W) bounded probe budget through the facade.
+    from ..lsh import CosineLshScheme
+
+    lsh_scheme = CosineLshScheme(space, corpus.dim, bands=4, band_bits=8, seed=0)
+    lsh_cfg = MeteorographConfig(
+        scheme=PlacementScheme.NONE,
+        naming_scheme="cosine-lsh",
+        lsh_bands=4,
+        lsh_band_bits=8,
+        lsh_seed=0,
+        lsh_probe_width=2,
+    )
+    lsh_system = Meteorograph.build(
+        n_nodes,
+        corpus.dim,
+        rng=np.random.default_rng(9),
+        sample=publish_sample,
+        config=lsh_cfg,
+    )
+    lsh_system.publish_corpus(corpus, np.random.default_rng(3), batch=True)
+    lsh_rng = np.random.default_rng(21)
+    lsh_queries = [
+        corpus.vector(int(i))
+        for i in lsh_rng.choice(corpus.n_items, 64, replace=False)
+    ]
+    lsh_origins = [lsh_system.random_origin(lsh_rng) for _ in lsh_queries]
+
+    def lsh_probe_all() -> int:
+        total = 0
+        for o, q in zip(lsh_origins, lsh_queries):
+            total += lsh_system.retrieve(o, q, 10).found
+        return total
+
     return {
         "absolute_angles": lambda: absolute_angles(corpus),
         "angles_chunked": lambda: absolute_angles(corpus, chunk_rows=1024),
@@ -404,6 +443,8 @@ def build_kernels(scale: float = 1.0) -> dict[str, object]:
         "publish_per_item": (prepare_publish, publish_sequential),
         "repair_tick_incremental": (prepare_repair(True), repair_incremental),
         "repair_full_scan": (prepare_repair(False), repair_full),
+        "lsh_signatures": lambda: lsh_scheme.signatures(corpus),
+        "multi_probe_retrieve": lsh_probe_all,
     }
 
 

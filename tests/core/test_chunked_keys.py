@@ -97,18 +97,20 @@ class TestSystemWiring:
     def test_auto_chunk_threshold(self, corpus, monkeypatch):
         """Corpora above DEFAULT_CHUNK_ROWS rows auto-chunk; small ones
         take the whole-corpus pass.  Observed via the chunk_rows that
-        reaches corpus_to_keys."""
+        reaches corpus_to_keys (now called through the naming-scheme
+        seam, so the spy sits on repro.core.naming)."""
         import repro.core.meteorograph as mg
+        import repro.core.naming as naming_mod
 
         system = build_system(corpus)  # before the spy: build keys the sample
         seen = []
-        real = mg.corpus_to_keys
+        real = naming_mod.corpus_to_keys
 
         def spy(c, space, *, chunk_rows=None, workers=None):
             seen.append(chunk_rows)
             return real(c, space, chunk_rows=chunk_rows, workers=workers)
 
-        monkeypatch.setattr(mg, "corpus_to_keys", spy)
+        monkeypatch.setattr(naming_mod, "corpus_to_keys", spy)
         system.corpus_keys(corpus)  # small: no chunking
         monkeypatch.setattr(mg, "DEFAULT_CHUNK_ROWS", 100)
         system.corpus_keys(corpus)  # now "large": auto-chunks at 100

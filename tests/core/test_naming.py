@@ -147,3 +147,59 @@ class TestCdfEqualizer:
     def test_out_of_space_key_rejected(self):
         with pytest.raises(ValueError):
             make_equalizer().remap(SPACE.modulus)
+
+    def test_remap_many_parity_at_segment_boundaries(self):
+        # The batch kernel's searchsorted bucketing vs the scalar
+        # bisect: the knee points themselves, and their one-off
+        # neighbors, are exactly where the two could disagree.
+        eq = make_equalizer()
+        knee_points = [k.b for k in eq.knees]
+        probes = sorted(
+            {
+                min(max(p + d, 0), SPACE.modulus - 1)
+                for p in knee_points
+                for d in (-1, 0, 1)
+            }
+        )
+        batch = eq.remap_many(np.array(probes, dtype=np.int64))
+        for i, k in enumerate(probes):
+            assert batch[i] == eq.remap(k), f"key {k}"
+
+    def test_remap_many_parity_at_wraparound(self):
+        # The key-space edges: key 0 and the top key modulus−1 (the
+        # ring wrap point) must remap inside the space, identically on
+        # both paths, even when the last segment is maximally stretched.
+        eq = CdfEqualizer(
+            [
+                Knee(0.0, 0),
+                Knee(0.99, 10),  # last 1% of mass over ~all of the ring
+                Knee(1.0, SPACE.modulus),
+            ],
+            SPACE,
+        )
+        edges = np.array([0, 1, 9, 10, 11, SPACE.modulus - 2, SPACE.modulus - 1])
+        batch = eq.remap_many(edges)
+        for i, k in enumerate(edges):
+            scalar = eq.remap(int(k))
+            assert batch[i] == scalar
+            assert 0 <= scalar < SPACE.modulus
+
+    @given(
+        st.lists(
+            st.integers(1, SPACE.modulus - 1), min_size=1, max_size=6, unique=True
+        ),
+        st.lists(st.integers(0, SPACE.modulus - 1), min_size=1, max_size=64),
+    )
+    @settings(max_examples=150)
+    def test_remap_many_parity_property(self, interior, keys):
+        # Arbitrary knee geometry, arbitrary keys: batch ≡ scalar.
+        points = sorted(interior)
+        cdf = np.linspace(0.0, 1.0, len(points) + 2)
+        knees = (
+            [Knee(0.0, 0)]
+            + [Knee(float(c), p) for c, p in zip(cdf[1:-1], points)]
+            + [Knee(1.0, SPACE.modulus)]
+        )
+        eq = CdfEqualizer(knees, SPACE)
+        batch = eq.remap_many(np.array(keys, dtype=np.int64))
+        assert batch.tolist() == [eq.remap(k) for k in keys]

@@ -11,6 +11,12 @@ Also verifies that every committed ``results/<id>.csv`` whose id is in
 the registry is indexed by ``results/manifest.json``, so the artifact
 directory stays discoverable.
 
+Two taxonomy checks keep OBSERVABILITY.md honest the same way: every
+bench kernel registered in ``repro.obs.bench._LOOPS`` must be named in
+the doc (the BENCH workflow section documents each kernel's workload),
+and every ``lsh.*`` instrument the LSH subsystem emits must appear in
+the instrument table.
+
 Run as ``python tools/check_docs.py`` from the repo root (CI does;
 ``repro`` must be importable — ``pip install -e .`` or
 ``PYTHONPATH=src``).
@@ -47,6 +53,33 @@ def main() -> int:
             failed.append(
                 f"EXPERIMENTS.md documents `{exp_id}` but it is not in "
                 "repro.experiments.ALL_EXPERIMENTS"
+            )
+
+    from repro.obs.bench import _LOOPS
+
+    obs_text = (ROOT / "OBSERVABILITY.md").read_text()
+    for kernel in sorted(_LOOPS):
+        if kernel not in obs_text:
+            failed.append(
+                f"bench kernel `{kernel}` is registered in repro.obs.bench "
+                "but not documented in OBSERVABILITY.md"
+            )
+    # The instrument names the LSH subsystem emits (grep the package for
+    # the literals): drift here means the taxonomy table went stale.
+    lsh_instruments = (
+        "lsh.signatures",
+        "lsh.publish.items",
+        "lsh.publish.copies",
+        "lsh.probe.bands",
+        "lsh.probe.candidates",
+        "lsh.probe.unioned",
+        "retrieve_multiprobe",
+    )
+    for name in lsh_instruments:
+        if name not in obs_text:
+            failed.append(
+                f"LSH instrument `{name}` is emitted by repro.lsh but not "
+                "documented in OBSERVABILITY.md"
             )
 
     manifest_path = ROOT / "results" / "manifest.json"
