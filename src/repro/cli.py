@@ -120,7 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--fraction",
         type=float,
         default=0.5,
-        help="batch-kill kill fraction / region key-space span",
+        help="batch-kill kill fraction / region key-space span / partition "
+        "side fraction / lossy drop probability",
     )
     faults.add_argument(
         "--rate", type=float, default=2.0, help="poisson departure rate"
@@ -162,6 +163,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless availability >= MIN_AVAIL (CI smoke)",
     )
     faults.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="with --check: also fail if the run took longer than this",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run one seeded fault mix (loss x dup x partition x churn) "
+        "and machine-check the invariants after quiescence",
+    )
+    chaos.add_argument("--nodes", type=int, default=300, help="overlay size")
+    chaos.add_argument("--items", type=int, default=2000, help="published items")
+    chaos.add_argument("--replicas", type=int, default=3, help="copies per item")
+    chaos.add_argument(
+        "--drop", type=float, default=0.05, help="per-link drop probability"
+    )
+    chaos.add_argument(
+        "--dup", type=float, default=0.0, help="per-link duplication probability"
+    )
+    chaos.add_argument(
+        "--jitter", type=float, default=0.0, help="async delay jitter bound"
+    )
+    chaos.add_argument(
+        "--no-split",
+        action="store_true",
+        help="skip the partition split/heal (default: one split at 0.2h, "
+        "heal at 0.7h)",
+    )
+    chaos.add_argument(
+        "--split-fraction",
+        type=float,
+        default=0.4,
+        help="fraction of live nodes cut off by the partition",
+    )
+    chaos.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="batch-kill fraction at mid-horizon (0 disables churn)",
+    )
+    chaos.add_argument(
+        "--horizon", type=float, default=30.0, help="simulated fault window"
+    )
+    chaos.add_argument(
+        "--quiesce",
+        type=float,
+        default=20.0,
+        help="simulated maintenance time after faults stop",
+    )
+    chaos.add_argument(
+        "--repair-interval", type=float, default=2.0, help="repair tick period"
+    )
+    chaos.add_argument(
+        "--antientropy-interval",
+        type=float,
+        default=2.0,
+        help="anti-entropy tick period",
+    )
+    chaos.add_argument(
+        "--queries", type=int, default=300, help="availability probes at the end"
+    )
+    chaos.add_argument("--seed", type=int, default=47, help="run RNG seed")
+    chaos.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every invariant holds and availability "
+        ">= --min-avail (CI smoke)",
+    )
+    chaos.add_argument(
+        "--min-avail",
+        type=float,
+        default=0.85,
+        help="availability floor for --check (default: 0.85)",
+    )
+    chaos.add_argument(
         "--max-seconds",
         type=float,
         default=None,
@@ -430,6 +507,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "overload":
         return _cmd_overload(args)
     if args.command == "build":
@@ -445,7 +524,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 #: ``faults --scenario`` choices; kept as a literal so building the
 #: parser does not import the maint subsystem (startup stays light).
-_SCENARIO_NAMES = ("batch-kill", "poisson", "flapping", "region")
+_SCENARIO_NAMES = ("batch-kill", "poisson", "flapping", "region", "partition", "lossy")
 
 
 #: Instruments ``stats --check`` requires after a demo session; chosen
@@ -580,6 +659,17 @@ def _cmd_faults(args) -> int:
         scenario = make_scenario("poisson", depart_rate=args.rate)
     elif args.scenario == "flapping":
         scenario = make_scenario("flapping", count=args.count, period=args.period)
+    elif args.scenario == "partition":
+        scenario = make_scenario(
+            "partition",
+            fraction=args.fraction,
+            at=0.2 * args.horizon,
+            heal_at=0.7 * args.horizon,
+        )
+    elif args.scenario == "lossy":
+        scenario = make_scenario(
+            "lossy", drop=args.fraction, stop=args.horizon
+        )
     else:
         scenario = make_scenario("region", span=args.fraction)
     stats = run_scenarios(system, [scenario], rng, horizon=args.horizon)
@@ -624,6 +714,82 @@ def _cmd_faults(args) -> int:
             print("faults --check FAILED: " + "; ".join(failed), file=sys.stderr)
             return 1
         print("faults --check OK")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import time
+
+    from .experiments.chaos import chaos_cell
+    from .workload import WorldCupParams, generate_trace
+
+    t0 = time.perf_counter()
+    trace = generate_trace(
+        WorldCupParams(
+            n_items=args.items, n_keywords=max(100, args.items // 5)
+        ),
+        seed=args.seed,
+    )
+    cell = chaos_cell(
+        trace,
+        n_nodes=args.nodes,
+        replicas=args.replicas,
+        drop=args.drop,
+        dup=args.dup,
+        jitter=args.jitter,
+        split=not args.no_split,
+        split_fraction=args.split_fraction,
+        churn=args.churn,
+        horizon=args.horizon,
+        quiesce=args.quiesce,
+        repair_interval=args.repair_interval,
+        antientropy_interval=args.antientropy_interval,
+        queries=args.queries,
+        seed=args.seed,
+    )
+    elapsed = time.perf_counter() - t0
+    plane = cell["plane"]
+    stats = cell["stats"]
+    print(
+        f"[chaos] nodes {args.nodes}, items {cell['published']}, replicas "
+        f"{args.replicas}, drop {args.drop:g}, dup {args.dup:g}, "
+        f"jitter {args.jitter:g}, split {'off' if args.no_split else 'on'}, "
+        f"churn {args.churn:g}, horizon {args.horizon:g}+{args.quiesce:g}"
+    )
+    print(
+        f"plane: {plane['charged']} charged = {plane['delivered']} delivered "
+        f"+ {plane['dropped']} dropped + {plane['duplicated']} duplicated "
+        f"({plane['partition_dropped']} at the cut, {plane['delayed']} "
+        f"delayed, {plane['splits']} splits / {plane['heals']} heals)"
+    )
+    print(
+        f"scenario: {stats['failed']} failures, {stats['recovered']} "
+        f"recoveries; anti-entropy re-placed {cell['replaced']} copies"
+    )
+    bad = []
+    for name, report in cell["reports"].items():
+        status = "ok" if report.ok else f"FAILED ({report.violations} violations)"
+        print(f"invariant {name}: {status} [{report.checked} checked]")
+        if not report.ok:
+            bad.append(name)
+            for sample in report.samples[:3]:
+                print(f"  e.g. {sample}")
+    print(
+        f"availability: {cell['availability']:.3f} "
+        f"({cell['lost']} items lost all copies) in {elapsed:.2f}s"
+    )
+    if args.check:
+        failed = list(bad)
+        if cell["availability"] < args.min_avail:
+            failed.append(
+                f"availability {cell['availability']:.3f} < {args.min_avail}"
+            )
+        if args.max_seconds is not None and elapsed > args.max_seconds:
+            failed.append(f"runtime {elapsed:.2f}s > {args.max_seconds}s")
+        if failed:
+            print("chaos --check FAILED: " + "; ".join(failed), file=sys.stderr)
+            return 1
+        print("chaos --check OK")
     return 0
 
 

@@ -129,7 +129,10 @@ class NotificationService:
         for nid in self.system.overlay.closest_neighbors(route.home):
             if len(holders) > home_radius:
                 break
-            self.system.network.send(route.home, nid, kind="subscribe")
+            if self.system.network.try_send(route.home, nid, kind="subscribe") is None:
+                # Copy lost in flight (dead neighbor or link fault): the
+                # subscription simply covers one fewer radius node.
+                continue
             holders.append(nid)
         for nid in holders:
             self._by_node.setdefault(nid, []).append(sub)

@@ -47,6 +47,7 @@ import numpy as np
 from ..overlay.idspace import KeySpace
 from ..overload.admission import BackpressureError
 from ..overload.degrade import divert_publish
+from ..sim.linkfaults import MessageLossError
 from ..sim.node import StoredItem
 from ..vsm.sparse import SparseVector
 
@@ -172,7 +173,15 @@ def run_displacement_chain(
             result.success = False
             result.dropped_item_id = victim.item_id
             return result
-        system.network.send(current, next_id, kind="displace")
+        try:
+            system.network.send(current, next_id, kind="displace")
+        except MessageLossError:
+            # The displacement push was charged but lost in flight: the
+            # victim drops here, exactly the budget-exhaustion outcome —
+            # the in-flight incoming item was already swapped in above.
+            result.success = False
+            result.dropped_item_id = victim.item_id
+            return result
         if tracer.enabled:
             tracer.event("displace", src=current, dst=next_id, item=victim.item_id)
         result.displacement_hops += 1
@@ -386,10 +395,10 @@ def batch_publish(
             nxt = (cur + 1) % m
             try:
                 send(live[cur], live[nxt], kind="publish")
-            except BackpressureError:
-                # A saturated node along the sweep shed the step message;
-                # the sweep continues past it (placement is node-local,
-                # the per-step message was already billed by the meter).
+            except (BackpressureError, MessageLossError):
+                # A saturated node shed the step message, or the link
+                # dropped it; the sweep continues past it (placement is
+                # node-local, the per-step message was already billed).
                 pass
             cur = nxt
         route_hops[order_l[0]] += start_hops

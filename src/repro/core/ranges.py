@@ -189,7 +189,15 @@ class RangeDirectory:
                 break  # wrapped around the ring: interval exhausted
             past_end = nxt > key_hi
             if self.system.network.is_alive(nxt):
-                self.system.network.send(current, nxt, kind="range-query")
+                if self.system.network.try_send(current, nxt, kind="range-query") is None:
+                    # Consult lost in flight (link fault): the message
+                    # was spent but this node's segment goes unharvested.
+                    result.walk_hops += 1
+                    current = nxt
+                    walked += 1
+                    if past_end:
+                        break
+                    continue
                 result.walk_hops += 1
                 # One node beyond key_hi is still harvested: a record
                 # whose value key sits just under key_hi may live there

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Literal, Optional, Sequence
 
 from ..overload.admission import BackpressureError
 from ..overload.degrade import divert_home
+from ..sim.linkfaults import MessageLossError
 from ..vsm.sparse import SparseVector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -215,10 +216,11 @@ def retrieve(
                     break
                 try:
                     system.network.send(current, neighbor, kind="retrieve")
-                except BackpressureError:
-                    # A saturated neighbor sheds its consult: the message
-                    # was spent, the node contributed nothing — skip it
-                    # and keep sweeping from the current position.
+                except (BackpressureError, MessageLossError):
+                    # A saturated neighbor shed its consult, or the link
+                    # dropped it: the message was spent, the node
+                    # contributed nothing — skip it and keep sweeping
+                    # from the current position.
                     walked += 1
                     result.walk_hops += 1
                     dry += 1
@@ -300,8 +302,8 @@ def find_item(
                     break
                 try:
                     system.network.send(current, neighbor, kind="retrieve")
-                except BackpressureError:
-                    # Saturated neighbor: the consult was shed; skip it.
+                except (BackpressureError, MessageLossError):
+                    # Saturated neighbor or lost consult; skip it.
                     walked += 1
                     messages += 1
                     continue
@@ -432,8 +434,9 @@ def retrieve_with_pointers(
                 break
             try:
                 system.network.send(current, neighbor, kind="retrieve")
-            except BackpressureError:
-                # Saturated pointer holder: its band segment is skipped.
+            except (BackpressureError, MessageLossError):
+                # Saturated or unreachable pointer holder: its band
+                # segment is skipped.
                 walked += 1
                 result.walk_hops += 1
                 dry += 1
@@ -519,7 +522,7 @@ def retrieve_with_pointers(
                         break
                     try:
                         system.network.send(current, neighbor, kind="retrieve")
-                    except BackpressureError:
+                    except (BackpressureError, MessageLossError):
                         walked += 1
                         result.fetch_hops += 1
                         continue

@@ -173,11 +173,13 @@ def retrieve_many(
     # Sequential fallback: these features make per-query execution
     # non-replayable (shedding and retries charge data-dependent extra
     # messages; pointer mode is a different protocol; replication
-    # changes harvest targets under failures) — same guard shape as
+    # changes harvest targets under failures; link faults drop or
+    # duplicate data-dependently per message) — same guard shape as
     # batch_publish.
     if (
         system.config.directory_pointers
         or system.network.admission is not None
+        or system.network.link_faults is not None
         or system.replication is not None
         or system.config.retry_policy is not None
     ):

@@ -26,8 +26,10 @@ from .overload import run_overload, storm_cell
 from .buildscale import run_build_scale
 from .qps import run_qps, qps_cell, qps_storm
 from .lshfrontier import run_lsh_frontier
+from .chaos import run_chaos, chaos_cell
 
 ALL_EXPERIMENTS = {
+    "chaos": run_chaos,
     "buildscale": run_build_scale,
     "lsh": run_lsh_frontier,
     "qps": run_qps,
@@ -95,5 +97,7 @@ __all__ = [
     "qps_cell",
     "qps_storm",
     "run_lsh_frontier",
+    "run_chaos",
+    "chaos_cell",
     "ALL_EXPERIMENTS",
 ]

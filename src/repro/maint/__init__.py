@@ -1,6 +1,7 @@
-"""Fault-tolerance subsystem: repair, retry, and churn scenarios.
+"""Fault-tolerance subsystem: repair, retry, anti-entropy, scenarios.
 
-Three cooperating parts (DESIGN.md, "Fault tolerance"):
+Cooperating parts (DESIGN.md, "Fault tolerance" / "Message plane
+faults"):
 
 * :class:`RepairEngine` — incremental dirty-set replica repair fed by
   the network's liveness notifications; the full-scan
@@ -10,17 +11,36 @@ Three cooperating parts (DESIGN.md, "Fault tolerance"):
   exponential backoff (deterministic jitter from the run seed) around
   publish/retrieve home delivery, degrading to the nearest live
   key-neighbor when the home stays unreachable.
-* :mod:`repro.maint.scenarios` — declarative churn scenarios (batch
-  kill, Poisson churn, flapping nodes, correlated region failure)
-  driving :mod:`repro.sim.engine`, exposed as the ``faults`` CLI verb.
+* :class:`AntiEntropyEngine` — partition-heal reconciliation: re-places
+  items whose live closest home changed while the fabric was split
+  (:mod:`repro.sim.linkfaults`), triggered by the ``heal`` liveness
+  change kind.
+* :mod:`repro.maint.invariants` — the chaos harness's machine-checked
+  health conditions (reachability, replica counts, message-accounting
+  conservation, holder-index consistency).
+* :mod:`repro.maint.scenarios` — declarative fault scenarios (batch
+  kill, Poisson churn, flapping nodes, correlated region failure,
+  partitions, lossy links) driving :mod:`repro.sim.engine`, exposed as
+  the ``faults`` / ``chaos`` CLI verbs.
 """
 
+from .antientropy import AntiEntropyEngine
+from .invariants import (
+    InvariantReport,
+    check_accounting,
+    check_all,
+    check_holder_index,
+    check_reachability,
+    check_replica_counts,
+)
 from .repair import RepairEngine
 from .retry import RetryPolicy, route_with_retry
 from .scenarios import (
     BUILTIN_SCENARIOS,
     BatchKill,
     FlappingNodes,
+    LossyLinks,
+    Partition,
     PoissonChurn,
     RegionFailure,
     Scenario,
@@ -32,14 +52,23 @@ from .scenarios import (
 
 __all__ = [
     "RepairEngine",
+    "AntiEntropyEngine",
     "RetryPolicy",
     "route_with_retry",
+    "InvariantReport",
+    "check_reachability",
+    "check_replica_counts",
+    "check_accounting",
+    "check_holder_index",
+    "check_all",
     "Scenario",
     "ScenarioStats",
     "BatchKill",
     "PoissonChurn",
     "FlappingNodes",
     "RegionFailure",
+    "Partition",
+    "LossyLinks",
     "install_scenarios",
     "run_scenarios",
     "make_scenario",

@@ -125,13 +125,19 @@ class RepairEngine:
             obs.metrics.counter("maint.dirty_marked")
 
     def _on_liveness(self, node_id: int, change: str) -> None:
+        if change == "partition":
+            # A split changes reachability, not liveness or disk state:
+            # copies are all still live, so nothing is dirty yet.  The
+            # divergence accrues *during* the split and is reconciled on
+            # the matching "heal" (below, plus the anti-entropy engine).
+            return
         if change == "remove":
             held = self.holder_index.pop(node_id, None)
             if held:
                 holders = self._item_holders
                 for item_id in held:
                     holders[item_id].discard(node_id)
-        else:  # "fail" or "recover": copies stay on disk either way
+        else:  # "fail"/"recover"/"heal": copies stay on disk either way
             held = self.holder_index.get(node_id)
         if not held:
             return

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..overlay.base import RouteResult
+from ..sim.linkfaults import MessageLossError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.meteorograph import Meteorograph
@@ -205,8 +206,21 @@ def route_with_retry(
                     obs.tracer.event("giveup", key=key, attempts=attempt)
             return route
         if route.home is not None and fallback != route.home:
-            # One recorded hand-off hop from the stall point.
-            network.send(route.home, fallback, kind=kind)
+            # One recorded hand-off hop from the stall point.  The
+            # hand-off itself crosses the fabric and can be lost (link
+            # fault, partition cut): the delivery then fails degraded —
+            # home stays at the stall point — instead of crashing the
+            # publish/retrieve that asked for it.
+            try:
+                network.send(route.home, fallback, kind=kind)
+            except MessageLossError:
+                if obs.enabled:
+                    obs.metrics.counter("maint.delivery_failed")
+                    if obs.tracer.enabled:
+                        obs.tracer.event(
+                            "handoff_lost", key=key, home=fallback
+                        )
+                return route
             route.path.append(fallback)
         route.home = fallback
         route.succeeded = True

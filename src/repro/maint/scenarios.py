@@ -17,12 +17,19 @@ hand to one :func:`install_scenarios` call:
 * :class:`RegionFailure` — every node within a key-space interval dies
   at once, modelling correlated failure of a rack/AS whose node ids
   were named into one region.
+* :class:`Partition` — the fabric splits into two sides at ``at`` and
+  heals at ``heal_at`` (message-plane fault: nodes stay alive, but
+  every cross-cut message drops — see :mod:`repro.sim.linkfaults`).
+* :class:`LossyLinks` — a window of probabilistic drop/duplication/
+  delay-jitter faults on every link.
 
 All randomness flows through the caller's generator, so a seeded run
 replays exactly; all liveness transitions go through the
 :class:`~repro.sim.network.Network` so the :class:`repro.maint.repair.
-RepairEngine`'s dirty set sees every one of them.  ``spare`` protects
-ids that must survive (bootstrap / querying nodes).
+RepairEngine`'s dirty set sees every one of them (and the new
+``partition``/``heal`` change kinds reach the anti-entropy engine the
+same way).  ``spare`` protects ids that must survive (bootstrap /
+querying nodes).
 
 Scenarios are exposed on the command line as the ``faults`` verb
 (``meteorograph faults --scenario flapping ...``) via
@@ -38,6 +45,7 @@ import numpy as np
 
 from ..sim.engine import Simulator
 from ..sim.failures import ChurnProcess, fail_fraction
+from ..sim.linkfaults import LinkFaultPlane
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.meteorograph import Meteorograph
@@ -49,6 +57,8 @@ __all__ = [
     "PoissonChurn",
     "FlappingNodes",
     "RegionFailure",
+    "Partition",
+    "LossyLinks",
     "install_scenarios",
     "run_scenarios",
     "make_scenario",
@@ -63,12 +73,16 @@ class ScenarioStats:
     failed: int = 0
     recovered: int = 0
     arrivals: int = 0
+    splits: int = 0
+    heals: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "failed": self.failed,
             "recovered": self.recovered,
             "arrivals": self.arrivals,
+            "splits": self.splits,
+            "heals": self.heals,
         }
 
 
@@ -263,6 +277,119 @@ class RegionFailure(Scenario):
         ctx.sim.schedule_at(self.at, fire)
 
 
+def _ensure_plane(ctx: _Ctx) -> LinkFaultPlane:
+    """The system's attached fault plane, auto-attaching a quiet one.
+
+    The auto-attached plane's seed is drawn from the caller's rng, so a
+    seeded scenario run injects a reproducible fault schedule; scenarios
+    that found a plane already attached leave its seed alone.
+    """
+    network = ctx.system.network
+    plane = network.link_faults
+    if plane is None:
+        plane = network.attach_link_faults(
+            LinkFaultPlane(seed=int(ctx.rng.integers(0, 1 << 63)))
+        )
+    return plane
+
+
+@dataclass(frozen=True)
+class Partition(Scenario):
+    """Split the fabric at ``at``; heal it at ``heal_at`` (None = never).
+
+    ``fraction`` of the candidate nodes (drawn once, at install time,
+    from the caller's rng, in sorted-candidate order so the side is
+    seed-deterministic) form one side of the bipartition; every message
+    crossing the cut is dropped while the split holds.  Nodes stay
+    alive — this is a *message-plane* fault — so holder state diverges
+    during the split and the ``heal`` notification hands the divergence
+    to the anti-entropy engine.
+    """
+
+    fraction: float = 0.5
+    at: float = 0.0
+    heal_at: Optional[float] = None
+    stabilize: bool = False
+
+    def install(self, ctx: _Ctx) -> None:
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {self.fraction}")
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError(
+                f"heal_at must follow at, got {self.heal_at} <= {self.at}"
+            )
+        _ensure_plane(ctx)  # attach before events fire, seed order fixed
+        # Draw the side at install time (sorted candidates → the choice
+        # depends only on the seed and membership, not dict iteration).
+        candidates = sorted(ctx.candidates())
+        n = max(1, int(round(self.fraction * len(candidates))))
+        n = min(n, len(candidates) - 1)
+        if n < 1:
+            return
+        idx = ctx.rng.choice(len(candidates), size=n, replace=False)
+        side = sorted(candidates[int(i)] for i in idx)
+        network = ctx.system.network
+
+        def split() -> None:
+            network.partition_nodes(side)
+            ctx.stats.splits += 1
+            obs = network.obs
+            if obs.enabled:
+                obs.tracer.event("partition", side=len(side))
+            if self.stabilize:
+                ctx.stabilize()
+
+        def heal() -> None:
+            healed = network.heal_partition()
+            if healed:
+                ctx.stats.heals += 1
+                obs = network.obs
+                if obs.enabled:
+                    obs.tracer.event("heal", side=healed)
+
+        ctx.sim.schedule_at(self.at, split)
+        if self.heal_at is not None:
+            ctx.sim.schedule_at(self.heal_at, heal)
+
+
+@dataclass(frozen=True)
+class LossyLinks(Scenario):
+    """Probabilistic link faults over a window ``[start, stop)``.
+
+    Sets the attached plane's drop/duplication/delay parameters at
+    ``start`` and resets them to zero at ``stop`` (None = the faults
+    persist).  Composes with :class:`Partition` on the same plane — the
+    cut and the loss draws are independent decisions.
+    """
+
+    drop: float = 0.05
+    dup: float = 0.0
+    jitter: float = 0.0
+    start: float = 0.0
+    stop: Optional[float] = None
+
+    def install(self, ctx: _Ctx) -> None:
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(
+                f"stop must follow start, got {self.stop} <= {self.start}"
+            )
+        plane = _ensure_plane(ctx)
+        # Validate eagerly: a bad probability should fail at install
+        # time, not mid-run inside a simulator callback.
+        LinkFaultPlane(drop_prob=self.drop, dup_prob=self.dup,
+                       delay_jitter=self.jitter)
+
+        def begin() -> None:
+            plane.set_loss(self.drop, self.dup, self.jitter)
+
+        def end() -> None:
+            plane.set_loss(0.0, 0.0, 0.0)
+
+        ctx.sim.schedule_at(self.start, begin)
+        if self.stop is not None:
+            ctx.sim.schedule_at(self.stop, end)
+
+
 # -- driving ----------------------------------------------------------------
 
 
@@ -309,6 +436,8 @@ BUILTIN_SCENARIOS: dict[str, type[Scenario]] = {
     "poisson": PoissonChurn,
     "flapping": FlappingNodes,
     "region": RegionFailure,
+    "partition": Partition,
+    "lossy": LossyLinks,
 }
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from ..sim.linkfaults import MessageLossError
 from ..sim.network import Network
 from .base import Overlay, RouteResult, RoutingError
 from .idspace import KeySpace, SortedKeyRing
@@ -160,7 +161,15 @@ class ChordOverlay(Overlay):
                 result.succeeded = False
                 result.home = current
                 return
-            self.network.send(current, nxt, kind)
+            try:
+                self.network.send(current, nxt, kind)
+            except MessageLossError:
+                # Charged but lost in flight: stall the route here so the
+                # retry machinery can resume from this point, same
+                # contract as budget exhaustion.
+                result.succeeded = False
+                result.home = current
+                return
             if tracer is not None:
                 tracer.event("hop", src=current, dst=nxt)
             result.path.append(nxt)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..sim.linkfaults import MessageLossError
 from ..sim.network import Network
 from .base import Overlay, RouteResult, RoutingError
 from .idspace import KeySpace, SortedKeyRing
@@ -246,7 +247,16 @@ class TornadoOverlay(Overlay):
                 result.succeeded = False
                 result.home = current
                 return
-            send(current, best, kind)
+            try:
+                send(current, best, kind)
+            except MessageLossError:
+                # The hop was charged but never arrived (link fault or
+                # partition cut): the route stalls where it stands, same
+                # contract as budget exhaustion, so the retry machinery
+                # can resume from the stall point.
+                result.succeeded = False
+                result.home = current
+                return
             if tracer is not None:
                 tracer.event("hop", src=current, dst=best)
             path.append(best)

@@ -4,6 +4,7 @@ from .engine import Simulator, ScheduledEvent, CancelledError
 from .metrics import MetricSink, QueryTrace, HopHistogram, percentile_summary
 from .node import PeerNode, StoredItem, DirectoryPointer, CapacityError
 from .network import Network, DeadNodeError
+from .linkfaults import LinkFaultPlane, MessageLossError
 from .failures import fail_fraction, ChurnProcess, ChurnStats
 
 __all__ = [
@@ -20,6 +21,8 @@ __all__ = [
     "CapacityError",
     "Network",
     "DeadNodeError",
+    "LinkFaultPlane",
+    "MessageLossError",
     "fail_fraction",
     "ChurnProcess",
     "ChurnStats",

@@ -75,10 +75,17 @@ class Network:
         #: (default) keeps the fast path at a single attribute check —
         #: the same zero-cost-when-off contract as ``_obs_on``.
         self.admission = None
+        #: Optional :class:`repro.sim.linkfaults.LinkFaultPlane`.  When
+        #: attached (see :meth:`attach_link_faults`), every send is
+        #: subject to seeded drop/duplication/delay faults and the
+        #: current partition cut; ``None`` (default) keeps the fast path
+        #: at a single attribute check, same contract as ``admission``.
+        self.link_faults = None
         self._nodes: dict[int, PeerNode] = {}
         #: Liveness listeners: ``cb(node_id, change)`` with ``change`` one
-        #: of ``"fail"`` / ``"recover"`` / ``"remove"``.  Fired *after*
-        #: the transition is applied.  See :meth:`subscribe_liveness`.
+        #: of ``"fail"`` / ``"recover"`` / ``"remove"`` /
+        #: ``"partition"`` / ``"heal"``.  Fired *after* the transition is
+        #: applied.  See :meth:`subscribe_liveness`.
         self._liveness_listeners: list[Callable[[int, str], None]] = []
 
     # -- membership --------------------------------------------------------
@@ -143,6 +150,18 @@ class Network:
                     controller.set_rate(node.node_id, rate)
         return controller
 
+    def attach_link_faults(self, plane):
+        """Install a :class:`~repro.sim.linkfaults.LinkFaultPlane` on the
+        fabric; returns it.  Pass ``None`` to detach.  With a plane
+        attached every :meth:`send` is subject to the seeded fault
+        schedule (a drop surfaces as
+        :class:`~repro.sim.linkfaults.MessageLossError`) and every
+        :meth:`send_after` to drop/duplication/delay-jitter verdicts;
+        detached, the cost is one ``is None`` check per send.
+        """
+        self.link_faults = plane
+        return plane
+
     def send(self, src: int, dst: int, kind: str = "route") -> PeerNode:
         """Charge one ``kind`` message from ``src`` to ``dst``.
 
@@ -151,12 +170,16 @@ class Network:
         then :class:`DeadNodeError` is raised — or, with an admission
         controller attached and the destination saturated,
         :class:`repro.overload.BackpressureError` (shed load, §DESIGN.md
-        "Overload protection").
+        "Overload protection"), or, with a fault plane attached and the
+        link failing, :class:`repro.sim.linkfaults.MessageLossError`.
         """
         self.sink.charge(kind)
         if self._obs_on:
             self.obs.metrics.counter(f"net.sent.{kind}")
             self.obs.metrics.bucket("net.node_inbox", dst)
+        lf = self.link_faults
+        if lf is not None:
+            lf.sync_send(self, src, dst, kind)
         node = self._nodes.get(dst)
         if node is None or not node.alive:
             raise DeadNodeError(f"destination {dst} is not alive (from {src})")
@@ -185,12 +208,17 @@ class Network:
         """Deliver asynchronously via the event engine.
 
         The message is charged at send time; ``handler`` runs at delivery
-        time only if the destination is then alive (silent drop models a
-        node that failed in flight).  With admission control attached,
-        the destination's inbox is metered at *delivery* time — the
-        moment the message would enter the queue — and a saturated inbox
-        drops the delivery the same silent way (``overload.async_dropped``
-        counts the drops; there is no caller left to divert for).
+        time only if the destination is then alive (the drop models a
+        node that failed in flight; ``net.async_dead_dropped`` counts
+        these so they stay distinguishable from admission sheds).  With
+        admission control attached, the destination's inbox is metered
+        at *delivery* time — the moment the message would enter the
+        queue — and a saturated inbox drops the delivery silently
+        (``overload.async_dropped`` counts the drops; there is no caller
+        left to divert for).  With a fault plane attached, the message
+        may additionally be dropped at send time (charged, never
+        scheduled), duplicated (the handler fires twice), or delayed by
+        deterministic jitter.
         """
         if self.simulator is None:
             raise RuntimeError("Network has no simulator attached")
@@ -202,6 +230,8 @@ class Network:
         def _deliver() -> None:
             node = self._nodes.get(dst)
             if node is None or not node.alive:
+                if self._obs_on:
+                    self.obs.metrics.counter("net.async_dead_dropped")
                 return
             adm = self.admission
             if adm is not None and not adm.try_arrive(dst, kind):
@@ -210,6 +240,13 @@ class Network:
                 return
             handler(node)
 
+        lf = self.link_faults
+        if lf is not None:
+            deliver, delay, dup_delay = lf.async_verdict(self, src, dst, kind, delay)
+            if not deliver:
+                return
+            if dup_delay is not None:
+                self.simulator.schedule(dup_delay, _deliver)
         self.simulator.schedule(delay, _deliver)
 
     # -- liveness transitions ---------------------------------------------------
@@ -217,10 +254,12 @@ class Network:
     def subscribe_liveness(self, listener: Callable[[int, str], None]) -> None:
         """Register ``listener(node_id, change)`` for liveness transitions.
 
-        ``change`` is ``"fail"``, ``"recover"`` or ``"remove"``.  Only
-        transitions applied through the network notify; this is the
-        contract :class:`repro.maint.RepairEngine` builds its dirty set
-        on (see DESIGN.md, "Fault tolerance").
+        ``change`` is ``"fail"``, ``"recover"``, ``"remove"``,
+        ``"partition"`` or ``"heal"``.  Only transitions applied through
+        the network notify; this is the contract
+        :class:`repro.maint.RepairEngine` builds its dirty set on and
+        :class:`repro.maint.AntiEntropyEngine` keys reconciliation off
+        (see DESIGN.md, "Fault tolerance" / "Message plane faults").
         """
         self._liveness_listeners.append(listener)
 
@@ -245,6 +284,45 @@ class Network:
         node.recover()
         self._notify_liveness(node_id, "recover")
         return True
+
+    def partition_nodes(self, side: Iterable[int]) -> int:
+        """Split the fabric into ``side`` vs everyone else.
+
+        Requires an attached fault plane (the cut lives there).  Every
+        node in the declared side gets a ``"partition"`` liveness
+        notification so maintenance engines can mark the epoch; returns
+        the side size.  A new split replaces any existing one.
+        """
+        lf = self.link_faults
+        if lf is None:
+            raise RuntimeError(
+                "partition_nodes requires a LinkFaultPlane "
+                "(Network.attach_link_faults)"
+            )
+        members = sorted(nid for nid in side if nid in self._nodes)
+        lf.split(members)
+        for nid in members:
+            self._notify_liveness(nid, "partition")
+        return len(members)
+
+    def heal_partition(self) -> int:
+        """Reconnect a split fabric; no-op when already connected.
+
+        Every node of the formerly declared side gets a ``"heal"``
+        liveness notification — the trigger the anti-entropy engine
+        reconciles on; returns how many nodes were notified.
+        """
+        lf = self.link_faults
+        if lf is None or lf.partition is None:
+            return 0
+        members = sorted(lf.partition)
+        lf.heal()
+        notified = 0
+        for nid in members:
+            if nid in self._nodes:
+                self._notify_liveness(nid, "heal")
+                notified += 1
+        return notified
 
     # -- bulk helpers ----------------------------------------------------------
 

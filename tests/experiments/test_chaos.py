@@ -1,0 +1,58 @@
+"""X-CHAOS harness: the fault-mix grid is green at tiny scale."""
+
+import pytest
+
+from repro.experiments import run_chaos
+from repro.experiments.chaos import FAULT_MIXES, chaos_cell
+from repro.workload import WorldCupParams, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorldCupParams(n_items=600, n_keywords=200), seed=31)
+
+
+class TestChaosExperiment:
+    @pytest.fixture(scope="class")
+    def rowset(self, trace):
+        return run_chaos(
+            trace, n_nodes=80, horizon=15.0, quiesce=10.0, queries=80, seed=3
+        )
+
+    def test_one_row_per_mix(self, rowset):
+        assert rowset.column("mix") == [m[0] for m in FAULT_MIXES]
+
+    def test_invariants_hold_in_every_cell(self, rowset):
+        for col in ("reachability", "replicas", "accounting", "holder_index"):
+            assert rowset.column(col) == [1] * len(FAULT_MIXES), col
+
+    def test_baseline_is_lossless(self, rowset):
+        row = dict(zip(rowset.headers, rowset.rows[0]))
+        assert row["mix"] == "baseline"
+        assert row["availability"] == 1.0
+        assert row["lost"] == 0
+
+    def test_partition_cells_exercise_anti_entropy(self, rowset):
+        by_mix = {r[0]: dict(zip(rowset.headers, r)) for r in rowset.rows}
+        assert by_mix["partition"]["healed_replaced"] > 0
+        assert by_mix["loss"]["healed_replaced"] == 0  # nothing to heal
+
+
+class TestChaosCell:
+    def test_cell_is_deterministic(self, trace):
+        def run():
+            cell = chaos_cell(
+                trace, n_nodes=60, drop=0.1, dup=0.1, jitter=0.5, split=True,
+                churn=0.0, horizon=12.0, quiesce=8.0, queries=50, seed=17,
+            )
+            return (cell["availability"], cell["replaced"], cell["plane"])
+
+        assert run() == run()
+
+    def test_loss_probes_stay_available(self, trace):
+        cell = chaos_cell(
+            trace, n_nodes=60, drop=0.05, split=False, churn=0.0,
+            horizon=12.0, quiesce=8.0, queries=50, seed=5,
+        )
+        assert cell["all_ok"]
+        assert cell["availability"] >= 0.85  # the CI gate's floor

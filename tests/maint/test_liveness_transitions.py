@@ -79,6 +79,85 @@ class TestFailNodesNotifications:
         assert rec.events == [(1, "fail"), (1, "recover"), (1, "fail")]
 
 
+class TestSingleNodeIdempotency:
+    """``fail_node``/``recover_node`` fire listeners once per actual
+    transition — repeat calls are no-op ``False`` returns, not extra
+    notifications (the repair engine's dirty-set exactness rests on
+    this)."""
+
+    def test_fail_node_twice_notifies_once(self):
+        net = make_net()
+        rec = Recorder(net)
+        assert net.fail_node(3) is True
+        assert net.fail_node(3) is False
+        assert rec.events == [(3, "fail")]
+
+    def test_recover_node_twice_notifies_once(self):
+        net = make_net()
+        rec = Recorder(net)
+        net.fail_node(3)
+        assert net.recover_node(3) is True
+        assert net.recover_node(3) is False  # already alive
+        assert rec.events == [(3, "fail"), (3, "recover")]
+
+    def test_recover_of_never_failed_node_is_silent(self):
+        net = make_net()
+        rec = Recorder(net)
+        assert net.recover_node(1) is False
+        assert net.recover_node(999) is False  # unknown id
+        assert rec.events == []
+
+    def test_full_cycle_listener_count(self):
+        net = make_net()
+        rec = Recorder(net)
+        for _ in range(3):
+            net.fail_node(2)
+            net.fail_node(2)
+            net.recover_node(2)
+            net.recover_node(2)
+        assert rec.count("fail") == 3
+        assert rec.count("recover") == 3
+
+
+class TestPartitionHealNotifications:
+    """``partition_nodes``/``heal_partition`` notify every member of the
+    cut-off side with the ``partition``/``heal`` change kinds — the feed
+    the anti-entropy engine subscribes to."""
+
+    def _net_with_plane(self):
+        from repro.sim.linkfaults import LinkFaultPlane
+
+        net = make_net()
+        net.attach_link_faults(LinkFaultPlane(seed=0))
+        return net
+
+    def test_partition_notifies_each_side_member(self):
+        net = self._net_with_plane()
+        rec = Recorder(net)
+        assert net.partition_nodes({1, 2, 3}) == 3
+        assert sorted(rec.events) == [(1, "partition"), (2, "partition"), (3, "partition")]
+
+    def test_heal_notifies_the_same_side(self):
+        net = self._net_with_plane()
+        rec = Recorder(net)
+        net.partition_nodes({4, 5})
+        assert net.heal_partition() == 2
+        assert rec.count("heal") == 2
+        assert {nid for nid, c in rec.events if c == "heal"} == {4, 5}
+
+    def test_heal_without_partition_is_silent(self):
+        net = self._net_with_plane()
+        rec = Recorder(net)
+        assert net.heal_partition() == 0
+        assert rec.events == []
+
+    def test_unknown_ids_not_notified_on_partition(self):
+        net = self._net_with_plane()
+        rec = Recorder(net)
+        assert net.partition_nodes({1, 999}) == 1
+        assert rec.events == [(1, "partition")]
+
+
 class TestScenarioLevelExactness:
     def test_overlapping_batch_kills_notify_once_per_death(
         self, small_trace, build_replicated

@@ -9,6 +9,8 @@ from repro.maint import (
     BUILTIN_SCENARIOS,
     BatchKill,
     FlappingNodes,
+    LossyLinks,
+    Partition,
     PoissonChurn,
     RegionFailure,
     install_scenarios,
@@ -137,6 +139,106 @@ class TestRegionFailure:
             )
 
 
+class TestPartitionScenario:
+    def test_split_and_heal_fire_on_schedule(self, system):
+        stats = run_scenarios(
+            system,
+            [Partition(fraction=0.4, at=2.0, heal_at=8.0)],
+            np.random.default_rng(9),
+            horizon=10.0,
+        )
+        plane = system.network.link_faults
+        assert plane is not None  # auto-attached
+        assert stats.splits == 1 and stats.heals == 1
+        assert not plane.partitioned  # healed by horizon
+        assert stats.failed == 0  # message-plane fault: nobody died
+
+    def test_cut_holds_between_split_and_heal(self, system):
+        install_scenarios(
+            system,
+            [Partition(fraction=0.4, at=2.0, heal_at=8.0)],
+            np.random.default_rng(9),
+        )
+        system.network.simulator.run(until=5.0)
+        assert system.network.link_faults.partitioned
+
+    def test_bad_parameters_rejected(self, system):
+        for bad in (
+            Partition(fraction=0.0),
+            Partition(fraction=1.0),
+            Partition(at=5.0, heal_at=5.0),
+        ):
+            with pytest.raises(ValueError):
+                run_scenarios(
+                    system, [bad], np.random.default_rng(0), horizon=1.0
+                )
+
+
+class TestLossyLinksScenario:
+    def test_window_turns_loss_on_then_off(self, system):
+        install_scenarios(
+            system,
+            [LossyLinks(drop=0.2, dup=0.1, jitter=1.5, start=1.0, stop=6.0)],
+            np.random.default_rng(10),
+        )
+        sim = system.network.simulator
+        plane = system.network.link_faults
+        assert plane.drop_prob == 0.0  # not started yet
+        sim.run(until=3.0)
+        assert (plane.drop_prob, plane.dup_prob, plane.delay_jitter) == (0.2, 0.1, 1.5)
+        sim.run(until=7.0)
+        assert (plane.drop_prob, plane.dup_prob, plane.delay_jitter) == (0.0, 0.0, 0.0)
+
+    def test_bad_parameters_rejected_eagerly(self, system):
+        for bad in (
+            LossyLinks(drop=1.5),
+            LossyLinks(stop=1.0, start=2.0),
+        ):
+            with pytest.raises(ValueError):
+                run_scenarios(
+                    system, [bad], np.random.default_rng(0), horizon=1.0
+                )
+
+
+class TestDeterministicSchedules:
+    """Satellite of the chaos harness: identically-seeded installs must
+    produce identical event schedules — same victims, same cut, same
+    fault draws — or seeded chaos runs would not be replayable."""
+
+    MIX = [
+        LossyLinks(drop=0.1, dup=0.05, jitter=1.0, stop=15.0),
+        Partition(fraction=0.4, at=5.0, heal_at=12.0),
+        BatchKill(fraction=0.2, at=8.0),
+    ]
+
+    def _run_once(self, build_replicated, tiny_trace):
+        sys_ = build_replicated(trace=tiny_trace, n_nodes=100, seed=21)
+        stats = run_scenarios(
+            sys_, list(self.MIX), np.random.default_rng(99), horizon=20.0
+        )
+        dead = sorted(set(sys_.network.node_ids()) - set(sys_.network.alive_ids()))
+        return (
+            stats.as_dict(),
+            sys_.network.link_faults.snapshot(),
+            dead,
+            sys_.network.sink.total,
+        )
+
+    def test_identical_seeds_identical_schedules(self, build_replicated, tiny_trace):
+        assert self._run_once(build_replicated, tiny_trace) == self._run_once(
+            build_replicated, tiny_trace
+        )
+
+    def test_different_install_seed_diverges(self, build_replicated, tiny_trace):
+        sys_a = build_replicated(trace=tiny_trace, n_nodes=100, seed=21)
+        sys_b = build_replicated(trace=tiny_trace, n_nodes=100, seed=21)
+        run_scenarios(sys_a, list(self.MIX), np.random.default_rng(99), horizon=20.0)
+        run_scenarios(sys_b, list(self.MIX), np.random.default_rng(100), horizon=20.0)
+        dead_a = sorted(set(sys_a.network.node_ids()) - set(sys_a.network.alive_ids()))
+        dead_b = sorted(set(sys_b.network.node_ids()) - set(sys_b.network.alive_ids()))
+        assert dead_a != dead_b
+
+
 class TestDriving:
     def test_simulator_required(self, build_system_fn, tiny_trace):
         system = build_system_fn(tiny_trace)  # no simulator attached
@@ -157,7 +259,9 @@ class TestDriving:
         s = make_scenario("batch-kill", fraction=0.25)
         assert isinstance(s, BatchKill)
         assert s.fraction == 0.25
-        assert set(BUILTIN_SCENARIOS) == {"batch-kill", "poisson", "flapping", "region"}
+        assert set(BUILTIN_SCENARIOS) == {
+            "batch-kill", "poisson", "flapping", "region", "partition", "lossy",
+        }
 
     def test_make_scenario_unknown_name(self):
         with pytest.raises(ValueError, match="unknown scenario"):

@@ -1,0 +1,204 @@
+"""Link-fault plane: determinism, conservation, partition semantics.
+
+The plane's contract is that fault injection is (a) byte-identical
+across runs with the same seed and send sequence, (b) conserved —
+every charged message is classified exactly once — and (c) invisible
+when detached or configured to zero.  The chaos harness leans on all
+three; these tests pin them at the unit level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observability
+from repro.sim.engine import Simulator
+from repro.sim.linkfaults import LinkFaultPlane, MessageLossError
+from repro.sim.network import DeadNodeError, Network
+from repro.sim.node import PeerNode
+
+
+def make_net(n: int = 10, *, simulator=None, obs=None) -> Network:
+    net = Network(simulator=simulator, obs=obs)
+    for i in range(n):
+        net.add_node(PeerNode(i))
+    return net
+
+
+def drive(net: Network, sends) -> list[bool]:
+    """Replay a (src, dst) send sequence; True = delivered."""
+    outcomes = []
+    for src, dst in sends:
+        try:
+            net.send(src, dst, kind="route")
+            outcomes.append(True)
+        except MessageLossError:
+            outcomes.append(False)
+    return outcomes
+
+
+SENDS = [(i % 7, (i * 3 + 1) % 7) for i in range(200)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_verdicts(self):
+        runs = []
+        for _ in range(2):
+            net = make_net()
+            plane = net.attach_link_faults(
+                LinkFaultPlane(seed=42, drop_prob=0.3, dup_prob=0.2)
+            )
+            runs.append((drive(net, SENDS), plane.snapshot()))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_verdicts(self):
+        outcomes = []
+        for seed in (1, 2):
+            net = make_net()
+            net.attach_link_faults(LinkFaultPlane(seed=seed, drop_prob=0.3))
+            outcomes.append(drive(net, SENDS))
+        assert outcomes[0] != outcomes[1]
+
+    def test_async_jitter_sequence_identical_across_runs(self):
+        schedules = []
+        for _ in range(2):
+            sim = Simulator()
+            net = make_net(simulator=sim)
+            net.attach_link_faults(
+                LinkFaultPlane(seed=9, drop_prob=0.1, dup_prob=0.2, delay_jitter=3.0)
+            )
+            times: list[tuple[float, int]] = []
+            for i, (src, dst) in enumerate(SENDS):
+                net.send_after(
+                    1.0, src, dst,
+                    lambda node, i=i: times.append((sim.now, i)),
+                )
+            sim.run()
+            schedules.append(times)
+        assert schedules[0] == schedules[1]
+        # Jitter actually moved deliveries off the nominal delay.
+        assert any(t != 1.0 for t, _ in schedules[0])
+
+
+class TestConservation:
+    def test_sync_accounting_conserved(self):
+        net = make_net()
+        plane = net.attach_link_faults(
+            LinkFaultPlane(seed=7, drop_prob=0.25, dup_prob=0.25)
+        )
+        drive(net, SENDS)
+        assert plane.conserved()
+        assert plane.dropped > 0 and plane.duplicated > 0
+        assert plane.charged == len(SENDS) + plane.duplicated
+
+    def test_async_accounting_conserved(self):
+        sim = Simulator()
+        net = make_net(simulator=sim)
+        plane = net.attach_link_faults(
+            LinkFaultPlane(seed=8, drop_prob=0.25, dup_prob=0.25, delay_jitter=2.0)
+        )
+        hits = []
+        for src, dst in SENDS:
+            net.send_after(0.5, src, dst, lambda node: hits.append(node.node_id))
+        sim.run()
+        assert plane.conserved()
+        # Originals delivered + duplicate deliveries, minus nothing (all alive).
+        assert len(hits) == plane.delivered + plane.duplicated
+
+    def test_duplicate_is_charged_to_the_sink(self):
+        net = make_net()
+        plane = net.attach_link_faults(LinkFaultPlane(seed=3, dup_prob=1.0))
+        before = net.sink.total
+        net.send(0, 1, kind="route")
+        assert plane.duplicated == 1
+        assert net.sink.total == before + 2  # original + duplicate
+
+    def test_zero_config_plane_is_transparent(self):
+        net = make_net()
+        plane = net.attach_link_faults(LinkFaultPlane(seed=5))
+        outcomes = drive(net, SENDS)
+        assert all(outcomes)
+        assert plane.snapshot() == {
+            "charged": len(SENDS), "delivered": len(SENDS), "dropped": 0,
+            "partition_dropped": 0, "duplicated": 0, "delayed": 0,
+            "splits": 0, "heals": 0,
+        }
+
+
+class TestPartition:
+    def test_cut_drops_exactly_the_crossing_messages(self):
+        net = make_net()
+        plane = net.attach_link_faults(LinkFaultPlane(seed=1))
+        net.partition_nodes({0, 1, 2})
+        assert plane.partitioned
+        with pytest.raises(MessageLossError) as exc:
+            net.send(0, 5)
+        assert exc.value.reason == "partition"
+        with pytest.raises(MessageLossError):
+            net.send(5, 0)  # symmetric
+        net.send(0, 1)  # intra-minority passes
+        net.send(5, 6)  # intra-majority passes
+        assert plane.partition_dropped == 2
+        assert plane.conserved()
+
+    def test_heal_restores_and_is_idempotent(self):
+        net = make_net()
+        plane = net.attach_link_faults(LinkFaultPlane(seed=1))
+        net.partition_nodes({0, 1})
+        assert net.heal_partition() == 2
+        assert not plane.partitioned
+        net.send(0, 5)
+        assert net.heal_partition() == 0  # no-op second time
+        assert plane.splits == 1 and plane.heals == 1
+
+    def test_partition_requires_a_plane(self):
+        net = make_net()
+        with pytest.raises(RuntimeError):
+            net.partition_nodes({0, 1})
+
+    def test_async_cut_never_schedules(self):
+        sim = Simulator()
+        net = make_net(simulator=sim)
+        net.attach_link_faults(LinkFaultPlane(seed=2))
+        net.partition_nodes({0})
+        hits = []
+        net.send_after(1.0, 0, 5, lambda node: hits.append(node.node_id))
+        sim.run()
+        assert hits == []
+
+
+class TestErrorsAndDegradation:
+    def test_loss_error_is_a_dead_node_error(self):
+        assert issubclass(MessageLossError, DeadNodeError)
+
+    def test_try_send_degrades_under_certain_loss(self):
+        net = make_net()
+        net.attach_link_faults(LinkFaultPlane(seed=4, drop_prob=1.0))
+        assert net.try_send(0, 1) is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_prob": -0.1},
+            {"drop_prob": 1.1},
+            {"dup_prob": 2.0},
+            {"delay_jitter": -1.0},
+        ],
+    )
+    def test_bad_probabilities_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkFaultPlane(seed=0, **kwargs)
+
+
+class TestAsyncDeadDropCounter:
+    def test_dead_destination_at_delivery_is_counted(self):
+        sim = Simulator()
+        obs = Observability()
+        net = make_net(simulator=sim, obs=obs)
+        hits = []
+        net.send_after(2.0, 0, 5, lambda node: hits.append(node.node_id))
+        net.fail_nodes([5])
+        sim.run()
+        assert hits == []
+        snap = obs.metrics.snapshot()["counters"]
+        assert snap.get("net.async_dead_dropped") == 1

@@ -128,6 +128,67 @@ class TestFaultsVerb:
         assert "FAILED" in capsys.readouterr().err
 
 
+class TestChaosVerb:
+    def test_parses_with_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.drop == 0.05
+        assert args.min_avail == 0.85
+        assert not args.check
+
+    def test_smoke_with_check(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--nodes", "80",
+                    "--items", "300",
+                    "--queries", "60",
+                    "--horizon", "15",
+                    "--quiesce", "10",
+                    "--seed", "3",
+                    "--check",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "invariant reachability: ok" in out
+        assert "invariant accounting: ok" in out
+        assert "chaos --check OK" in out
+
+    def test_check_failure_returns_nonzero(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--nodes", "60",
+                "--items", "150",
+                "--queries", "30",
+                "--horizon", "10",
+                "--quiesce", "5",
+                "--check",
+                "--min-avail", "1.01",  # unsatisfiable threshold
+            ]
+        )
+        assert rc == 1
+        assert "chaos --check FAILED" in capsys.readouterr().err
+
+    def test_new_scenarios_reachable_from_faults_verb(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--scenario", "partition",
+                    "--nodes", "60",
+                    "--items", "150",
+                    "--queries", "30",
+                    "--horizon", "10",
+                ]
+            )
+            == 0
+        )
+        assert "availability" in capsys.readouterr().out
+
+
 class TestOverloadVerb:
     def test_parses_with_defaults(self):
         args = build_parser().parse_args(["overload"])

@@ -11,11 +11,13 @@ Also verifies that every committed ``results/<id>.csv`` whose id is in
 the registry is indexed by ``results/manifest.json``, so the artifact
 directory stays discoverable.
 
-Two taxonomy checks keep OBSERVABILITY.md honest the same way: every
+Three taxonomy checks keep OBSERVABILITY.md honest the same way: every
 bench kernel registered in ``repro.obs.bench._LOOPS`` must be named in
 the doc (the BENCH workflow section documents each kernel's workload),
-and every ``lsh.*`` instrument the LSH subsystem emits must appear in
-the instrument table.
+every ``lsh.*`` instrument the LSH subsystem emits must appear in the
+instrument table, and so must every ``linkfault.*`` /
+``maint.antientropy.*`` instrument of the message-plane fault
+subsystem.
 
 Run as ``python tools/check_docs.py`` from the repo root (CI does;
 ``repro`` must be importable — ``pip install -e .`` or
@@ -80,6 +82,28 @@ def main() -> int:
             failed.append(
                 f"LSH instrument `{name}` is emitted by repro.lsh but not "
                 "documented in OBSERVABILITY.md"
+            )
+
+    chaos_instruments = (
+        "linkfault.dropped",
+        "linkfault.partition_dropped",
+        "linkfault.duplicated",
+        "linkfault.delayed",
+        "linkfault.delay_jitter",
+        "net.async_dead_dropped",
+        "maint.antientropy.pass",
+        "maint.antientropy.ticks",
+        "maint.antientropy.dirtied",
+        "maint.antientropy.reconciled",
+        "maint.antientropy.replaced",
+        "handoff_lost",
+        "reconcile",
+    )
+    for name in chaos_instruments:
+        if name not in obs_text:
+            failed.append(
+                f"chaos instrument `{name}` is emitted by the message-plane "
+                "fault subsystem but not documented in OBSERVABILITY.md"
             )
 
     manifest_path = ROOT / "results" / "manifest.json"
