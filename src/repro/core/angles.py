@@ -150,6 +150,49 @@ def _angles_chunk_worker(payload: tuple[np.ndarray, np.ndarray, int]) -> np.ndar
     return _angles_kernel(data, indptr, dim)
 
 
+#: Lazily-created module-level process pool, reused across chunked-angle
+#: calls (and shared with any other caller via :func:`shared_pool`).  A
+#: fresh ``ProcessPoolExecutor`` per call pays worker spawn + interpreter
+#: start on every invocation — on repeated chunked runs that dominates
+#: the kernel itself.
+_POOL = None
+_POOL_WORKERS = 0
+
+
+def shared_pool(workers: int):
+    """The reusable module-level process pool, sized for ``workers``.
+
+    Created on first use and kept for the process lifetime (registered
+    for ``atexit`` shutdown).  If a later caller asks for more workers
+    than the live pool has, the pool is replaced with a larger one —
+    never silently downsized, so concurrent callers keep their capacity.
+    """
+    global _POOL, _POOL_WORKERS
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if _POOL is None or _POOL_WORKERS < workers:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        else:
+            import atexit
+
+            atexit.register(shutdown_shared_pool)
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool (tests and interpreter exit)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
 def absolute_angles(
     corpus: Corpus,
     *,
@@ -189,11 +232,9 @@ def absolute_angles(
     )
     out = np.empty(n)
     if workers is not None and workers > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for (lo, hi), res in zip(spans, pool.map(_angles_chunk_worker, payloads)):
-                out[lo:hi] = res
+        pool = shared_pool(workers)
+        for (lo, hi), res in zip(spans, pool.map(_angles_chunk_worker, payloads)):
+            out[lo:hi] = res
     else:
         for (lo, hi), payload in zip(spans, payloads):
             out[lo:hi] = _angles_kernel(*payload)

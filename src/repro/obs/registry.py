@@ -97,10 +97,27 @@ class Distribution:
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
-        self._samples.extend(other._samples)
-        if len(self._samples) >= _RESERVOIR_CAP:
-            self._samples = self._samples[::2]
-            self._stride *= 2
+        # Equalize strides before concatenating: a reservoir thinned k
+        # times holds one sample per 2^k recordings, so the finer side
+        # must be thinned to the coarser side's stride or the merged
+        # quantiles over-weight it.  Then thin the union back under the
+        # cap (a single halving can be insufficient after concatenation)
+        # and restart the acceptance phase at the new stride.
+        mine, mine_stride = self._samples, self._stride
+        theirs, theirs_stride = other._samples, other._stride
+        while mine_stride < theirs_stride:
+            mine = mine[::2]
+            mine_stride *= 2
+        while theirs_stride < mine_stride:
+            theirs = theirs[::2]
+            theirs_stride *= 2
+        merged = mine + theirs
+        while len(merged) >= _RESERVOIR_CAP:
+            merged = merged[::2]
+            mine_stride *= 2
+        self._samples = merged
+        self._stride = mine_stride
+        self._phase = 0
 
     def as_dict(self) -> dict[str, float]:
         if self.count == 0:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..sim.network import Network
 from ..sim.node import PeerNode
@@ -118,6 +118,32 @@ class Overlay(abc.ABC):
         self._walk_orders.clear()
         self._on_membership_change()
         return node
+
+    def add_nodes(self, specs: Iterable[tuple[int, Optional[int]]]) -> list[PeerNode]:
+        """Bulk :meth:`add_node`: one ring merge, one cache clear.
+
+        ``specs`` is ``(node_id, capacity)`` pairs.  Routing tables are
+        built lazily, so deferring the membership hook to the end is
+        semantically identical to per-node adds — but seeding 10⁵ nodes
+        goes from O(n²) ring inserts to one sorted merge.
+        """
+        specs = list(specs)
+        self.ring.update(nid for nid, _ in specs)
+        nodes: list[PeerNode] = []
+        try:
+            for nid, cap in specs:
+                node = PeerNode(nid, capacity=cap)
+                self.network.add_node(node)
+                nodes.append(node)
+        except ValueError:
+            for nid, _ in specs:
+                self.ring.discard(nid)
+            for node in nodes:
+                self.network.remove_node(node.node_id)
+            raise
+        self._walk_orders.clear()
+        self._on_membership_change()
+        return nodes
 
     def remove_node(self, node_id: int) -> PeerNode:
         """Deregister a node entirely (distinct from failing it)."""

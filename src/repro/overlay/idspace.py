@@ -175,6 +175,29 @@ class SortedKeyRing:
             raise ValueError(f"key {key} already in ring")
         self._keys.insert(i, key)
 
+    def update(self, keys: Iterable[int]) -> None:
+        """Bulk-insert keys in one sorted merge; raises on any duplicate.
+
+        Equivalent to ``add`` per key but O((n+k) + k log k) instead of
+        O(n·k) — the difference between minutes and milliseconds when
+        seeding a 10⁵-node ring for the sharded experiments.
+        """
+        incoming = sorted(self.space.validate(k) for k in keys)
+        if not incoming:
+            return
+        for a, b in zip(incoming, incoming[1:]):
+            if a == b:
+                raise ValueError(f"key {a} already in ring")
+        if self._keys:
+            pos = 0
+            for k in incoming:
+                pos = bisect.bisect_left(self._keys, k, pos)
+                if pos < len(self._keys) and self._keys[pos] == k:
+                    raise ValueError(f"key {k} already in ring")
+        merged = self._keys + incoming
+        merged.sort()
+        self._keys = merged
+
     def discard(self, key: int) -> bool:
         """Remove a key if present; returns whether it was removed."""
         i = bisect.bisect_left(self._keys, key)

@@ -66,6 +66,33 @@ class TestDistribution:
         assert a.max == 20.0
         assert a.mean == pytest.approx(8.25)
 
+    def test_merge_unequal_strides_stays_bounded(self):
+        # One thinned reservoir (stride > 1), one dense: merge must
+        # equalize strides before concatenating, keep the result under
+        # the cap, and preserve the exact count/min/max stats.
+        a, b = Distribution(), Distribution()
+        n = _RESERVOIR_CAP * 2
+        for v in range(n):
+            a.record(float(v))
+        for v in range(100):
+            b.record(float(v))
+        assert a._stride > b._stride
+        a.merge(b)
+        assert a.count == n + 100
+        assert a.min == 0.0 and a.max == float(n - 1)
+        assert len(a._samples) < _RESERVOIR_CAP
+        assert a.quantile(0.5) < n / 2  # the dense samples pull left
+
+    def test_merge_repeated_respects_cap(self):
+        acc = Distribution()
+        for round_ in range(6):
+            other = Distribution()
+            for v in range(_RESERVOIR_CAP):
+                other.record(float(v + round_))
+            acc.merge(other)
+        assert acc.count == 6 * _RESERVOIR_CAP
+        assert len(acc._samples) < _RESERVOIR_CAP
+
     def test_as_dict_empty(self):
         assert Distribution().as_dict() == {"count": 0}
 
